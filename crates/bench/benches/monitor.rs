@@ -1,0 +1,49 @@
+//! Monitor-path benchmarks: packet stream → conn.log + dns.log.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnsctx::zeek_lite::{logfmt, Monitor, MonitorConfig};
+
+fn capture_fixture() -> (Vec<u8>, u64) {
+    // A deterministic small-town capture: 4 houses, ~45 simulated minutes.
+    let sim = bench::sim(4, 0.03, 1.0, 7);
+    let mut buf = Vec::new();
+    let (_, frames) = sim.run_pcap(&mut buf, 600).unwrap();
+    (buf, frames)
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let (capture, frames) = capture_fixture();
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(frames));
+    g.bench_function("process_pcap", |b| {
+        b.iter(|| {
+            let logs = Monitor::process_pcap(std::hint::black_box(&capture[..]), MonitorConfig::default())
+                .unwrap();
+            std::hint::black_box(logs.conns.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_logfmt(c: &mut Criterion) {
+    let out = bench::small_output(7);
+    let mut conn_buf = Vec::new();
+    logfmt::write_conn_log(&mut conn_buf, &out.logs.conns).unwrap();
+    let mut g = c.benchmark_group("logfmt");
+    g.throughput(Throughput::Elements(out.logs.conns.len() as u64));
+    g.bench_function("write_conn_log", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(conn_buf.len());
+            logfmt::write_conn_log(&mut buf, &out.logs.conns).unwrap();
+            std::hint::black_box(buf)
+        })
+    });
+    g.bench_function("read_conn_log", |b| {
+        b.iter(|| std::hint::black_box(logfmt::read_conn_log(&conn_buf[..]).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor, bench_logfmt);
+criterion_main!(benches);

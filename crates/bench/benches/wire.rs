@@ -1,0 +1,112 @@
+//! Microbenchmarks for the wire-format layers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dnsctx::dns_wire::{Message, Name, Record, RrType};
+use dnsctx::netpkt::{Frame, MacAddr, Packet, TcpFlags, TcpHeader};
+use dnsctx::pcapio::{PcapReader, PcapWriter, TsPrecision};
+use std::net::Ipv4Addr;
+
+fn sample_response() -> Message {
+    let name = Name::parse("www.example-service.com").unwrap();
+    let q = Message::query(0x1234, name.clone(), RrType::A);
+    let mut m = q.answer_template();
+    m.answers.push(Record::cname(name.clone(), 300, Name::parse("edge-7.cdnint.net").unwrap()));
+    for i in 0..3u8 {
+        m.answers.push(Record::a(
+            Name::parse("edge-7.cdnint.net").unwrap(),
+            60,
+            Ipv4Addr::new(104, 16, 0, i),
+        ));
+    }
+    m
+}
+
+fn bench_dns_wire(c: &mut Criterion) {
+    let msg = sample_response();
+    let wire = msg.encode();
+    let mut g = c.benchmark_group("dns_wire");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_response", |b| b.iter(|| std::hint::black_box(msg.encode())));
+    g.bench_function("decode_response", |b| {
+        b.iter(|| Message::decode(std::hint::black_box(&wire)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_netpkt(c: &mut Criterion) {
+    let frame = Frame::tcp(
+        MacAddr::LOCAL,
+        MacAddr::UPSTREAM,
+        Ipv4Addr::new(10, 77, 0, 1),
+        Ipv4Addr::new(104, 16, 0, 9),
+        TcpHeader::segment(50_000, 443, 1_000, 2_000, TcpFlags::PSH_ACK),
+        b"payload bytes here",
+    );
+    let bytes = frame.encode();
+    let mut g = c.benchmark_group("netpkt");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("build_tcp_frame", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Frame::tcp(
+                    MacAddr::LOCAL,
+                    MacAddr::UPSTREAM,
+                    Ipv4Addr::new(10, 77, 0, 1),
+                    Ipv4Addr::new(104, 16, 0, 9),
+                    TcpHeader::segment(50_000, 443, 1_000, 2_000, TcpFlags::PSH_ACK),
+                    b"payload bytes here",
+                )
+                .encode(),
+            )
+        })
+    });
+    g.bench_function("parse_tcp_frame", |b| {
+        b.iter(|| Packet::parse(std::hint::black_box(&bytes), bytes.len()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let frame_bytes = Frame::udp(
+        MacAddr::LOCAL,
+        MacAddr::UPSTREAM,
+        Ipv4Addr::new(10, 77, 0, 1),
+        Ipv4Addr::new(198, 51, 100, 53),
+        51_000,
+        53,
+        &sample_response().encode(),
+    )
+    .encode();
+    const FRAMES: usize = 1_000;
+    let mut g = c.benchmark_group("pcapio");
+    g.throughput(Throughput::Elements(FRAMES as u64));
+    g.bench_function("write_1k_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(FRAMES * (frame_bytes.len() + 16) + 24);
+            let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+            for i in 0..FRAMES {
+                w.write_packet(i as u64 * 1_000, &frame_bytes, None).unwrap();
+            }
+            std::hint::black_box(buf)
+        })
+    });
+    let capture = {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 65_535, TsPrecision::Nano).unwrap();
+        for i in 0..FRAMES {
+            w.write_packet(i as u64 * 1_000, &frame_bytes, None).unwrap();
+        }
+        buf
+    };
+    g.bench_function("read_1k_records", |b| {
+        b.iter_batched(
+            || capture.clone(),
+            |buf| PcapReader::new(&buf[..]).unwrap().records().count(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dns_wire, bench_netpkt, bench_pcap);
+criterion_main!(benches);

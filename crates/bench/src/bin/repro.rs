@@ -1,0 +1,596 @@
+//! The reproduction harness: regenerates every table and figure of
+//! *Putting DNS in Context* (Allman, IMC 2020) from a seeded simulation
+//! of a CCZ-like residential network.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- table2 --scale 0.3 --seed 7
+//! cargo run --release -p bench --bin repro -- fig2 --csv
+//! ```
+//!
+//! Experiments: `table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7
+//! sec8 diurnal houses ablate-threshold ablate-pairing ablate-scr all`.
+//!
+//! Options: `--houses N` (100), `--days D` (7), `--scale A` (0.1 activity),
+//! `--seed S` (42), `--csv` (emit CDF point series for the figures).
+
+use dnsctx::cache_sim;
+use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::dns_context::report::{cdf_series, cdf_strip, count, f1, f2, Table};
+use dnsctx::dns_context::{Analysis, AnalysisConfig, ConnClass, Ecdf, PairingPolicy};
+use dnsctx::zeek_lite::{Duration, Logs};
+
+struct Opts {
+    houses: usize,
+    days: f64,
+    scale: f64,
+    seed: u64,
+    seeds: usize,
+    csv: bool,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        houses: 100,
+        days: 7.0,
+        scale: 0.1,
+        seed: 42,
+        seeds: 1,
+        csv: false,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--houses" => opts.houses = grab("--houses").parse().expect("houses"),
+            "--days" => opts.days = grab("--days").parse().expect("days"),
+            "--scale" => opts.scale = grab("--scale").parse().expect("scale"),
+            "--seed" => opts.seed = grab("--seed").parse().expect("seed"),
+            "--seeds" => opts.seeds = grab("--seeds").parse().expect("seeds"),
+            "--csv" => opts.csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--csv]\n\
+                     experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr all"
+                );
+                std::process::exit(0);
+            }
+            exp => opts.experiments.push(exp.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".into());
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses: opts.houses, days: opts.days, activity: opts.scale },
+        ..WorkloadConfig::default()
+    };
+    if opts.seeds > 1 {
+        multi_seed(&cfg, &opts);
+        return;
+    }
+    eprintln!(
+        "# simulating {} houses x {} days at activity {} (seed {}) ...",
+        opts.houses, opts.days, opts.scale, opts.seed
+    );
+    let t0 = std::time::Instant::now();
+    let out = Simulation::new(cfg, opts.seed).expect("valid config").run();
+    eprintln!(
+        "# {} connections, {} DNS transactions in {:.1}s; running analysis ...",
+        count(out.logs.conns.len()),
+        count(out.logs.dns.len()),
+        t0.elapsed().as_secs_f64()
+    );
+    let analysis = Analysis::run(&out.logs, AnalysisConfig::default());
+    eprintln!("# analysis done in {:.1}s total\n", t0.elapsed().as_secs_f64());
+
+    let all = opts.experiments.iter().any(|e| e == "all");
+    let want = |name: &str| all || opts.experiments.iter().any(|e| e == name);
+
+    if want("table1") {
+        table1(&analysis);
+    }
+    if want("table2") {
+        table2(&analysis);
+    }
+    if want("fig1") {
+        fig1(&analysis, opts.csv);
+    }
+    if want("sec51") {
+        sec51(&out.logs, &analysis);
+    }
+    if want("sec52") {
+        sec52(&analysis);
+    }
+    if want("fig2") {
+        fig2(&analysis, opts.csv);
+    }
+    if want("sec7") {
+        sec7(&analysis);
+    }
+    if want("fig3") {
+        fig3(&analysis, opts.csv);
+    }
+    if want("sec8") {
+        sec8(&out.logs, &analysis);
+    }
+    if want("table3") {
+        table3(&out.logs, &analysis);
+    }
+    if want("diurnal") {
+        diurnal(&analysis);
+    }
+    if want("houses") {
+        houses(&analysis);
+    }
+    if want("ablate-threshold") {
+        ablate_threshold(&out.logs);
+    }
+    if want("ablate-pairing") {
+        ablate_pairing(&out.logs);
+    }
+    if want("ablate-scr") {
+        ablate_scr(&out.logs);
+    }
+}
+
+fn table1(analysis: &Analysis<'_>) {
+    let reports = analysis.platform_reports();
+    let mut t = Table::new(
+        "Table 1: use of resolver platforms (paper: Local 92.4/72.8/74.0/70.8, Google 83.5/12.9/8.3/9.2, OpenDNS 25.3/9.4/14.2/13.5, Cloudflare 3.8/3.9/2.9/5.7)",
+        &["Resolver", "% Houses", "% Lookups", "% Conns", "% Bytes"],
+    );
+    for r in &reports {
+        t.row(&[
+            r.name.clone(),
+            f1(r.houses_pct),
+            f1(r.lookups_pct),
+            f1(r.conns_pct),
+            f1(r.bytes_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn table2(analysis: &Analysis<'_>) {
+    let c = analysis.class_counts();
+    let mut t = Table::new(
+        "Table 2: DNS information origin by connection (paper: N 7.2, LC 42.9, P 7.8, SC 26.3, R 15.7)",
+        &["Class", "Desc.", "Conns", "% Conns"],
+    );
+    for class in ConnClass::all() {
+        t.row(&[
+            class.symbol().into(),
+            class.description().into(),
+            count(c.get(class)),
+            f1(c.share_pct(class)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "blocked on DNS: {:.1}% (paper 42.1%)   shared-cache hit rate: {:.1}% (paper 62.6%)\n",
+        c.blocked_share_pct(),
+        100.0 * c.shared_hit_rate()
+    );
+}
+
+fn fig1(analysis: &Analysis<'_>, csv: bool) {
+    let g = analysis.gap_analysis();
+    println!("== Figure 1: gap between DNS completion and connection start ==");
+    print!("{}", cdf_strip("gap (ms)", &g.gaps_ms, ""));
+    for anchor_ms in [1.0, 5.0, 20.0, 100.0, 1_000.0, 60_000.0] {
+        println!(
+            "   P(gap <= {:>8} ms) = {:.3}",
+            anchor_ms,
+            g.gaps_ms.fraction_at_or_below(anchor_ms)
+        );
+    }
+    println!(
+        "first-use share:  within 20 ms knee {:.1}% (paper 91%)   beyond {:.1}% (paper 21%)",
+        100.0 * g.first_use_within_knee,
+        100.0 * g.first_use_beyond_knee
+    );
+    match g.estimate_knee(0.10) {
+        Some(k) => println!(
+            "estimated knee: {:.0} ms (paper eyeballs ~20 ms; 100 ms threshold stays conservative)\n",
+            k.as_millis_f64()
+        ),
+        None => println!("estimated knee: none (distribution does not flatten)\n"),
+    }
+    if csv {
+        print!("{}", cdf_series("fig1_gap_ms", &g.gaps_ms, 200));
+    }
+}
+
+fn sec51(logs: &Logs, analysis: &Analysis<'_>) {
+    let b = analysis.no_dns_breakdown();
+    println!("== par.5.1: connections using no DNS ==");
+    println!(
+        "N connections: {}   both-high-ports: {:.1}% (paper 81.6%)",
+        count(b.total),
+        100.0 * b.both_high_ports as f64 / b.total.max(1) as f64
+    );
+    println!("top hard-coded (reserved-port) endpoints:");
+    for ((addr, port), n) in b.reserved_port_endpoints.iter().take(6) {
+        println!("   {addr}:{port:<5}  {} conns", count(*n));
+    }
+    println!(
+        "DoT (port 853) connections: {}   DoT packets seen by monitor: {}",
+        b.dot_port_conns, logs.stats.dot_port_packets
+    );
+    println!(
+        "unpaired AND not peer-to-peer: {:.2}% of all conns (paper <= 1.3%)\n",
+        b.unpaired_not_p2p_share_pct
+    );
+}
+
+fn sec52(analysis: &Analysis<'_>) {
+    let t = analysis.ttl_stats();
+    println!("== par.5.2: local caching, prefetching, TTL violations ==");
+    println!(
+        "LC using expired records: {:.1}% (paper 22.2%)   P: {:.1}% (paper 12.4%)",
+        t.lc_violation_share_pct, t.p_violation_share_pct
+    );
+    if let Some(med) = t.violation_staleness_secs.median() {
+        println!(
+            "violation staleness: >30s for {:.0}% (paper 82%)   median {:.0}s (paper 890s)   p90 {:.0}s (paper ~19,000s)",
+            100.0 * t.violation_staleness_secs.fraction_above(30.0),
+            med,
+            t.violation_staleness_secs.quantile(0.9).unwrap()
+        );
+    }
+    println!(
+        "unused lookups: {} = {:.1}% (paper 3.1M = 37.8%)   speculative ultimately used: {:.1}% (paper 22.3%)",
+        count(t.unused_lookups),
+        t.unused_share_pct,
+        t.speculative_used_share_pct
+    );
+    println!(
+        "median lookup-to-use gap: P {:.0}s (paper 310s)   LC {:.0}s (paper 1033s)\n",
+        t.p_use_gap_median_secs.unwrap_or(0.0),
+        t.lc_use_gap_median_secs.unwrap_or(0.0)
+    );
+}
+
+fn fig2(analysis: &Analysis<'_>, csv: bool) {
+    let p = analysis.perf();
+    println!("== Figure 2 (top): lookup delay for SC+R connections ==");
+    print!("{}", cdf_strip("delay", &p.delay_ms, "ms"));
+    println!(
+        "   median {:.1} ms (paper 8.5)   p75 {:.1} ms (paper 20)   >100 ms: {:.1}% (paper 3.3%)",
+        p.delay_ms.median().unwrap_or(0.0),
+        p.delay_ms.quantile(0.75).unwrap_or(0.0),
+        100.0 * p.delay_ms.fraction_above(100.0)
+    );
+    println!("\n== Figure 2 (bottom): DNS %% contribution to transaction time ==");
+    print!("{}", cdf_strip("all SC+R", &p.contribution_pct, "%"));
+    print!("{}", cdf_strip("SC only", &p.contribution_sc_pct, "%"));
+    print!("{}", cdf_strip("R only", &p.contribution_r_pct, "%"));
+    println!(
+        "   contribution >1%: {:.1}% of blocked (paper 20%)   >=10%: {:.1}% (paper 8%)   R-only >1%: {:.1}% (paper 30%)",
+        100.0 * p.contribution_pct.fraction_above(1.0),
+        100.0 * p.contribution_pct.fraction_above(10.0 - 1e-9),
+        100.0 * p.contribution_r_pct.fraction_above(1.0)
+    );
+    let s = analysis.significance();
+    println!("\n== par.6: significance quadrants (abs > 20 ms x rel > 1%) ==");
+    println!("   insignificant by both:     {:.1}% (paper 64.0%)", s.neither_pct);
+    println!("   relative-only:             {:.1}% (paper 11.5%)", s.rel_only_pct);
+    println!("   absolute-only:             {:.1}% (paper 15.9%)", s.abs_only_pct);
+    println!("   significant (both):        {:.1}% (paper 8.6%)", s.both_pct);
+    println!("   significant, of ALL conns: {:.1}% (paper 3.6%)\n", s.both_share_of_all_pct);
+    if csv {
+        print!("{}", cdf_series("fig2_delay_ms", &p.delay_ms, 200));
+        print!("{}", cdf_series("fig2_contrib_all_pct", &p.contribution_pct, 200));
+        print!("{}", cdf_series("fig2_contrib_sc_pct", &p.contribution_sc_pct, 200));
+        print!("{}", cdf_series("fig2_contrib_r_pct", &p.contribution_r_pct, 200));
+    }
+}
+
+fn sec7(analysis: &Analysis<'_>) {
+    let reports = analysis.platform_reports();
+    let mut t = Table::new(
+        "par.7: shared-cache hit rate by platform (paper: Cloudflare 83.6, Local 71.2, OpenDNS 58.8, Google 23.0)",
+        &["Resolver", "Hit rate %"],
+    );
+    let mut sorted: Vec<_> = reports.iter().collect();
+    sorted.sort_by(|a, b| b.hit_rate_pct.total_cmp(&a.hit_rate_pct));
+    for r in sorted {
+        t.row(&[r.name.clone(), f1(r.hit_rate_pct)]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig3(analysis: &Analysis<'_>, csv: bool) {
+    let reports = analysis.platform_reports();
+    println!("== Figure 3 (top): lookup delay for R connections, per platform ==");
+    for r in &reports {
+        print!("{}", cdf_strip(&r.name, &r.r_delay_ms, "ms"));
+    }
+    println!("\n== Figure 3 (bottom): throughput of SC+R connections, per platform (Mbit/s) ==");
+    for r in &reports {
+        let mbps = Ecdf::new(r.throughput_bps.samples().iter().map(|b| b / 1e6).collect());
+        print!("{}", cdf_strip(&r.name, &mbps, ""));
+        if r.name == "Google" {
+            let clean = Ecdf::new(
+                r.throughput_no_artifact_bps.samples().iter().map(|b| b / 1e6).collect(),
+            );
+            print!("{}", cdf_strip("Google (no conncheck)", &clean, ""));
+            println!(
+                "   connectivitycheck share of Google SC+R conns: {:.1}% (paper 23.5%)",
+                r.artifact_conn_share_pct
+            );
+        }
+    }
+    println!();
+    if csv {
+        for r in &reports {
+            print!("{}", cdf_series(&format!("fig3_rdelay_ms_{}", r.name), &r.r_delay_ms, 200));
+            print!("{}", cdf_series(&format!("fig3_tput_bps_{}", r.name), &r.throughput_bps, 200));
+            if r.name == "Google" {
+                print!(
+                    "{}",
+                    cdf_series("fig3_tput_bps_Google_clean", &r.throughput_no_artifact_bps, 200)
+                );
+            }
+        }
+    }
+}
+
+fn sec8(logs: &Logs, analysis: &Analysis<'_>) {
+    let wh = cache_sim::whole_house(logs, analysis);
+    println!("== par.8: a whole-house cache ==");
+    println!(
+        "conns moving SC/R -> LC: {} of {} = {:.1}% (paper 9.8%)",
+        count(wh.moved),
+        count(wh.total_conns),
+        wh.moved_share_of_all_pct
+    );
+    println!(
+        "benefiting: {:.1}% of SC (paper 22%)   {:.1}% of R (paper 25%)\n",
+        wh.sc_benefit_pct, wh.r_benefit_pct
+    );
+}
+
+fn table3(logs: &Logs, analysis: &Analysis<'_>) {
+    let r = cache_sim::refresh(logs, analysis, Duration::from_secs(10));
+    let mut t = Table::new(
+        "Table 3: efficacy of refreshing expiring names (paper: hits 61.0%->96.6%, lookups 8.4M->1.2B, 0.2->25.2 q/s/house)",
+        &["", "Standard", "Refresh All"],
+    );
+    t.row(&["Conns.".into(), count(r.standard.conns), count(r.refresh_all.conns)]);
+    t.row(&[
+        "DNS Lookups".into(),
+        count(r.standard.lookups as usize),
+        count(r.refresh_all.lookups as usize),
+    ]);
+    t.row(&[
+        "Lookups/sec/house".into(),
+        f2(r.standard.lookups_per_sec_per_house),
+        f2(r.refresh_all.lookups_per_sec_per_house),
+    ]);
+    t.row(&["Cache Hits".into(), f1(r.standard.hit_pct) + "%", f1(r.refresh_all.hit_pct) + "%"]);
+    t.row(&["Cache Misses".into(), f1(r.standard.miss_pct) + "%", f1(r.refresh_all.miss_pct) + "%"]);
+    println!("{}", t.render());
+    println!("lookup blow-up: {:.0}x (paper ~144x)\n", r.lookup_ratio());
+}
+
+fn diurnal(analysis: &Analysis<'_>) {
+    println!("== diurnal profile: class mix by hour of day (extension; not a paper artifact) ==");
+    let mut t = Table::new(
+        "hour-of-day classification",
+        &["hour", "conns", "LC %", "blocked %"],
+    );
+    for (hour, c) in analysis.diurnal_profile() {
+        if c.total() == 0 {
+            continue;
+        }
+        t.row(&[
+            format!("{hour:02}"),
+            count(c.total()),
+            f1(c.share_pct(ConnClass::LocalCache)),
+            f1(c.blocked_share_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn houses(analysis: &Analysis<'_>) {
+    println!("== per-house DNS exposure (extension; not a paper artifact) ==");
+    let mut t = Table::new(
+        "top 12 houses by connection count",
+        &["house", "conns", "lookups", "blocked %", "p95 blocked ms"],
+    );
+    for h in analysis.house_reports().into_iter().take(12) {
+        t.row(&[
+            h.addr.to_string(),
+            count(h.classes.total()),
+            count(h.lookups),
+            f1(h.blocked_share_pct()),
+            h.blocked_delay_ms
+                .quantile(0.95)
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_threshold(logs: &Logs) {
+    println!("== ablation: blocking threshold sweep (paper footnote 5) ==");
+    let mut t = Table::new(
+        "class mix vs blocking threshold",
+        &["threshold ms", "N %", "LC %", "P %", "SC %", "R %", "blocked %"],
+    );
+    for ms in [10u64, 20, 50, 100, 200, 500] {
+        let mut cfg = AnalysisConfig::default();
+        cfg.block_threshold = Duration::from_millis(ms);
+        let a = Analysis::run(logs, cfg);
+        let c = a.class_counts();
+        t.row(&[
+            ms.to_string(),
+            f1(c.share_pct(ConnClass::NoDns)),
+            f1(c.share_pct(ConnClass::LocalCache)),
+            f1(c.share_pct(ConnClass::Prefetched)),
+            f1(c.share_pct(ConnClass::SharedCache)),
+            f1(c.share_pct(ConnClass::Resolution)),
+            f1(c.blocked_share_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_pairing(logs: &Logs) {
+    println!("== ablation: pairing policy (paper par.4 robustness check) ==");
+    let mut t = Table::new(
+        "class mix vs pairing policy",
+        &["policy", "N %", "LC %", "P %", "SC %", "R %"],
+    );
+    for (name, policy) in [
+        ("most-recent", PairingPolicy::MostRecent),
+        ("random", PairingPolicy::RandomNonExpired),
+    ] {
+        let mut cfg = AnalysisConfig::default();
+        cfg.policy = policy;
+        let a = Analysis::run(logs, cfg);
+        let c = a.class_counts();
+        t.row(&[
+            name.into(),
+            f1(c.share_pct(ConnClass::NoDns)),
+            f1(c.share_pct(ConnClass::LocalCache)),
+            f1(c.share_pct(ConnClass::Prefetched)),
+            f1(c.share_pct(ConnClass::SharedCache)),
+            f1(c.share_pct(ConnClass::Resolution)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablate_scr(logs: &Logs) {
+    println!("== ablation: SC/R resolver-threshold rule (paper par.5.3, footnote 7) ==");
+    let mut t = Table::new(
+        "SC/R split vs threshold multiplier",
+        &["multiplier", "floor ms", "SC %", "R %", "hit rate %"],
+    );
+    for (mult, floor) in [(1.0, 3.0), (1.3, 5.0), (1.6, 5.0), (2.0, 8.0), (3.0, 10.0)] {
+        let mut cfg = AnalysisConfig::default();
+        cfg.threshold_rule.mult = mult;
+        cfg.threshold_rule.floor_ms = floor;
+        let a = Analysis::run(logs, cfg);
+        let c = a.class_counts();
+        t.row(&[
+            f2(mult),
+            f1(floor),
+            f1(c.share_pct(ConnClass::SharedCache)),
+            f1(c.share_pct(ConnClass::Resolution)),
+            f1(100.0 * c.shared_hit_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+
+/// Multi-seed mode: run K simulations in parallel and report the spread
+/// of the headline statistics — a confidence check that no conclusion
+/// hangs on one lucky seed.
+fn multi_seed(cfg: &WorkloadConfig, opts: &Opts) {
+    #[derive(Clone, Copy)]
+    struct Headline {
+        seed: u64,
+        shares: [f64; 5],
+        blocked: f64,
+        hit_rate: f64,
+        significant_all: f64,
+    }
+    eprintln!(
+        "# running {} seeds ({}..{}) in parallel ...",
+        opts.seeds,
+        opts.seed,
+        opts.seed + opts.seeds as u64 - 1
+    );
+    let results = parking_lot::Mutex::new(Vec::<Headline>::new());
+    crossbeam::thread::scope(|scope| {
+        for k in 0..opts.seeds {
+            let seed = opts.seed + k as u64;
+            let cfg = cfg.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                let out = Simulation::new(cfg, seed).expect("valid config").run();
+                let analysis = Analysis::run(&out.logs, AnalysisConfig::default());
+                let c = analysis.class_counts();
+                let shares = [
+                    c.share_pct(ConnClass::NoDns),
+                    c.share_pct(ConnClass::LocalCache),
+                    c.share_pct(ConnClass::Prefetched),
+                    c.share_pct(ConnClass::SharedCache),
+                    c.share_pct(ConnClass::Resolution),
+                ];
+                results.lock().push(Headline {
+                    seed,
+                    shares,
+                    blocked: c.blocked_share_pct(),
+                    hit_rate: 100.0 * c.shared_hit_rate(),
+                    significant_all: analysis.significance().both_share_of_all_pct,
+                });
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|h| h.seed);
+
+    let mut t = Table::new(
+        "headline statistics across seeds (paper: N 7.2, LC 42.9, P 7.8, SC 26.3, R 15.7; blocked 42.1; hit 62.6; signif 3.6)",
+        &["seed", "N %", "LC %", "P %", "SC %", "R %", "blocked %", "hit %", "signif %"],
+    );
+    for h in &rows {
+        t.row(&[
+            h.seed.to_string(),
+            f1(h.shares[0]),
+            f1(h.shares[1]),
+            f1(h.shares[2]),
+            f1(h.shares[3]),
+            f1(h.shares[4]),
+            f1(h.blocked),
+            f1(h.hit_rate),
+            f1(h.significant_all),
+        ]);
+    }
+    let col = |f: &dyn Fn(&Headline) -> f64| {
+        let vals: Vec<f64> = rows.iter().map(f).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        (mean, spread)
+    };
+    let summary: Vec<(f64, f64)> = vec![
+        col(&|h| h.shares[0]),
+        col(&|h| h.shares[1]),
+        col(&|h| h.shares[2]),
+        col(&|h| h.shares[3]),
+        col(&|h| h.shares[4]),
+        col(&|h| h.blocked),
+        col(&|h| h.hit_rate),
+        col(&|h| h.significant_all),
+    ];
+    let mut mean_row = vec!["mean".to_string()];
+    let mut spread_row = vec!["spread".to_string()];
+    for (m, s) in &summary {
+        mean_row.push(f1(*m));
+        spread_row.push(f1(*s));
+    }
+    t.row(&mean_row);
+    t.row(&spread_row);
+    println!("{}", t.render());
+}

@@ -1,0 +1,26 @@
+//! Shared fixtures for the Criterion benches and the `repro` harness.
+
+use dnsctx::ccz_sim::{ScaleKnobs, SimOutput, Simulation, WorkloadConfig};
+
+/// Build a simulation at the given size (houses, days, activity).
+pub fn sim(houses: usize, days: f64, activity: f64, seed: u64) -> Simulation {
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity },
+        ..WorkloadConfig::default()
+    };
+    Simulation::new(cfg, seed).expect("valid config")
+}
+
+/// Run a small fixed workload once (bench fixtures reuse the output).
+pub fn small_output(seed: u64) -> SimOutput {
+    sim(6, 0.1, 1.0, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_build() {
+        let out = super::small_output(3);
+        assert!(!out.logs.conns.is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! The simulated name universe: services, hostnames, TTLs, hosting.
+
+use crate::config::WorkloadConfig;
+use crate::dists::{weighted_index, Zipf};
+use rand::{Rng, RngExt};
+use std::net::Ipv4Addr;
+
+/// Index of a hostname in the universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+/// Index of a service (a site: one primary hostname plus extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServiceId(pub u32);
+
+/// Everything known about one hostname.
+#[derive(Debug, Clone)]
+pub struct NameInfo {
+    /// Fully-qualified name in presentation form.
+    pub fqdn: String,
+    /// Authoritative TTL, seconds.
+    pub ttl: u32,
+    /// Addresses returned for the name (stable across the run; CDN
+    /// rotation is modelled by answer-order rotation, not set changes).
+    pub addrs: Vec<Ipv4Addr>,
+    /// Optional CNAME the answer chain goes through.
+    pub cname: Option<String>,
+    /// Whether the name is served from shared CDN infrastructure (several
+    /// names on one address; resolver choice affects edge quality).
+    pub cdn_hosted: bool,
+}
+
+/// One service: a site with a primary hostname and auxiliary hostnames.
+#[derive(Debug, Clone)]
+pub struct ServiceInfo {
+    /// Primary hostname (what a user "visits").
+    pub primary: NameId,
+    /// Auxiliary hostnames (api., img., ...) used by embedded objects.
+    pub extras: Vec<NameId>,
+}
+
+/// The generated universe.
+pub struct NameUniverse {
+    names: Vec<NameInfo>,
+    services: Vec<ServiceInfo>,
+    /// Shared third-party hostnames (ads, analytics, CDN libraries).
+    shared: Vec<NameId>,
+    /// Per-name popularity weight, indexed by `NameId` (O(1) lookup; the
+    /// resolver warmth model consults this on every query).
+    pop: Vec<f64>,
+    service_pop: Zipf,
+    shared_pop: Zipf,
+    connectivity_check: NameId,
+}
+
+const TLDS: [&str; 5] = ["com", "net", "org", "io", "tv"];
+
+impl NameUniverse {
+    /// Generate a universe per the config. Deterministic given the RNG.
+    pub fn generate<R: Rng + ?Sized>(cfg: &WorkloadConfig, rng: &mut R) -> NameUniverse {
+        let ttl_weights: Vec<f64> = cfg.ttl_classes.iter().map(|(_, w)| *w).collect();
+        let mut names: Vec<NameInfo> = Vec::new();
+        // Shared CDN edge pool: many names resolve into these addresses.
+        let edge_pool: Vec<Ipv4Addr> = (0..900u32)
+            .map(|i| Ipv4Addr::from(u32::from(Ipv4Addr::new(104, 16, 0, 0)) + i))
+            .collect();
+        let mut dedicated_counter: u32 = 0;
+        let mut alloc_dedicated = || {
+            dedicated_counter += 1;
+            // 185.0.0.0/8 style dedicated hosting, skipping .0/.255 octets.
+            Ipv4Addr::from(u32::from(Ipv4Addr::new(185, 0, 0, 0)) + dedicated_counter * 7 % 0x00FF_FFFF)
+        };
+        let mut make_name = |fqdn: String,
+                             cdn: bool,
+                             rng: &mut R,
+                             names: &mut Vec<NameInfo>|
+         -> NameId {
+            let ttl = cfg.ttl_classes[weighted_index(rng, &ttl_weights)].0;
+            let n_addrs = 1 + rng.random_range(0..3usize).min(1 + rng.random_range(0..2));
+            let addrs: Vec<Ipv4Addr> = (0..n_addrs)
+                .map(|_| {
+                    if cdn {
+                        edge_pool[rng.random_range(0..edge_pool.len())]
+                    } else {
+                        alloc_dedicated()
+                    }
+                })
+                .collect();
+            let cname = if rng.random_bool(cfg.cname_fraction) {
+                Some(format!("edge-{}.cdnint.net", rng.random_range(0..500u32)))
+            } else {
+                None
+            };
+            let id = NameId(names.len() as u32);
+            names.push(NameInfo { fqdn, ttl, addrs, cname, cdn_hosted: cdn });
+            id
+        };
+
+        let mut services = Vec::with_capacity(cfg.services);
+        for i in 0..cfg.services {
+            let tld = TLDS[i % TLDS.len()];
+            let domain = format!("s{i:04}.{tld}");
+            let cdn = rng.random_bool(cfg.cohost_fraction);
+            let primary = make_name(format!("www.{domain}"), cdn, rng, &mut names);
+            let n_extras = rng.random_range(0..3usize);
+            let extras = (0..n_extras)
+                .map(|k| {
+                    let sub = ["api", "img", "static"][k];
+                    make_name(format!("{sub}.{domain}"), cdn, rng, &mut names)
+                })
+                .collect();
+            services.push(ServiceInfo { primary, extras });
+        }
+
+        let shared: Vec<NameId> = (0..cfg.shared_services)
+            .map(|j| {
+                let kind = ["ads", "metrics", "cdn", "fonts", "social"][j % 5];
+                let id = make_name(format!("{kind}{j:03}.thirdparty.net"), true, rng, &mut names);
+                // Big third-party infrastructure publishes longer TTLs
+                // than per-site CDN entries; this locality is what makes
+                // cross-page cache reuse (the paper's dominant LC source)
+                // survive page dwell times.
+                let shared_ttls = [(300u32, 0.30), (3_600, 0.50), (86_400, 0.20)];
+                let w: Vec<f64> = shared_ttls.iter().map(|(_, w)| *w).collect();
+                names[id.0 as usize].ttl = shared_ttls[weighted_index(rng, &w)].0;
+                id
+            })
+            .collect();
+
+        // connectivitycheck.gstatic.com: Google-hosted, modest TTL, tiny
+        // responses; Android devices hit it incessantly (paper §7).
+        let cc_id = NameId(names.len() as u32);
+        names.push(NameInfo {
+            fqdn: "connectivitycheck.gstatic.com".into(),
+            ttl: 300,
+            addrs: vec![Ipv4Addr::new(142, 250, 65, 99)],
+            cname: None,
+            cdn_hosted: false,
+        });
+
+        // Precompute popularity weights: service hostnames inherit their
+        // service's Zipf rank, shared third parties are globally hot, the
+        // connectivity check hottest of all.
+        let mut pop = vec![1e-6f64; names.len()];
+        for (rank, s) in services.iter().enumerate() {
+            let w = 0.01 / (1.0 + rank as f64).powf(cfg.zipf_exponent);
+            pop[s.primary.0 as usize] = w;
+            for e in &s.extras {
+                pop[e.0 as usize] = w * 0.6;
+            }
+        }
+        for (rank, n) in shared.iter().enumerate() {
+            pop[n.0 as usize] = 0.02 / (1.0 + rank as f64).powf(0.9);
+        }
+        pop[cc_id.0 as usize] = 2.0;
+
+        NameUniverse {
+            names,
+            services,
+            shared,
+            pop,
+            service_pop: Zipf::new(cfg.services, cfg.zipf_exponent),
+            shared_pop: Zipf::new(cfg.shared_services, 1.35),
+            connectivity_check: cc_id,
+        }
+    }
+
+    /// Number of hostnames.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Look up a name's details.
+    pub fn info(&self, id: NameId) -> &NameInfo {
+        &self.names[id.0 as usize]
+    }
+
+    /// Draw a service by popularity.
+    pub fn pick_service<R: Rng + ?Sized>(&self, rng: &mut R) -> ServiceId {
+        ServiceId(self.service_pop.sample(rng) as u32)
+    }
+
+    /// A service's primary hostname.
+    pub fn primary(&self, svc: ServiceId) -> NameId {
+        self.services[svc.0 as usize].primary
+    }
+
+    /// Names fetched by a page of the given service: a mix of the
+    /// service's own auxiliary hostnames and popular shared third parties.
+    pub fn embedded_for_page<R: Rng + ?Sized>(&self, svc: ServiceId, count: usize, rng: &mut R) -> Vec<NameId> {
+        let s = &self.services[svc.0 as usize];
+        (0..count)
+            .map(|_| {
+                if !s.extras.is_empty() && rng.random_bool(0.55) {
+                    s.extras[rng.random_range(0..s.extras.len())]
+                } else {
+                    self.shared[self.shared_pop.sample(rng)]
+                }
+            })
+            .collect()
+    }
+
+    /// The normalised popularity weight of a name (used by the resolver
+    /// cache warmth model): approximately the Zipf mass of its service.
+    pub fn popularity(&self, id: NameId) -> f64 {
+        self.pop[id.0 as usize]
+    }
+
+    /// Draw a target for a speculative link (any service's primary).
+    pub fn pick_link_target<R: Rng + ?Sized>(&self, rng: &mut R) -> NameId {
+        self.primary(self.pick_service(rng))
+    }
+
+    /// Map a primary hostname back to its service (links point at
+    /// primaries; a clicked link needs the service to render its page).
+    pub fn service_of_primary(&self, id: NameId) -> Option<ServiceId> {
+        // Primaries are allocated in service order with gaps for extras; a
+        // binary search over primaries (which are ascending) finds it.
+        let idx = self
+            .services
+            .binary_search_by(|s| s.primary.cmp(&id))
+            .ok()?;
+        Some(ServiceId(idx as u32))
+    }
+
+    /// The Android connectivity-check hostname.
+    pub fn connectivity_check(&self) -> NameId {
+        self.connectivity_check
+    }
+
+    /// Answer-set for one response: rotated address order (round-robin
+    /// CDNs) and the CNAME chain if the name has one.
+    pub fn answers<R: Rng + ?Sized>(&self, id: NameId, rng: &mut R) -> (Option<String>, Vec<Ipv4Addr>, u32) {
+        let info = self.info(id);
+        let mut addrs = info.addrs.clone();
+        if addrs.len() > 1 {
+            let rot = rng.random_range(0..addrs.len());
+            addrs.rotate_left(rot);
+        }
+        (info.cname.clone(), addrs, info.ttl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn universe() -> NameUniverse {
+        let cfg = WorkloadConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        NameUniverse::generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = universe();
+        let b = universe();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            let (x, y) = (a.info(NameId(i as u32)), b.info(NameId(i as u32)));
+            assert_eq!(x.fqdn, y.fqdn);
+            assert_eq!(x.addrs, y.addrs);
+            assert_eq!(x.ttl, y.ttl);
+        }
+    }
+
+    #[test]
+    fn all_names_are_valid_hostnames() {
+        let u = universe();
+        for i in 0..u.len() {
+            let info = u.info(NameId(i as u32));
+            assert!(dns_wire::Name::parse(&info.fqdn).is_ok(), "{}", info.fqdn);
+            assert!(!info.addrs.is_empty());
+            assert!(info.ttl > 0);
+        }
+    }
+
+    #[test]
+    fn ttls_follow_configured_classes() {
+        let cfg = WorkloadConfig::default();
+        let u = universe();
+        let allowed: Vec<u32> = cfg.ttl_classes.iter().map(|(t, _)| *t).collect();
+        for i in 0..u.len() {
+            let ttl = u.info(NameId(i as u32)).ttl;
+            assert!(allowed.contains(&ttl) || ttl == 300, "ttl {ttl}");
+        }
+    }
+
+    #[test]
+    fn cohosting_creates_address_sharing() {
+        let u = universe();
+        use std::collections::HashMap;
+        let mut by_addr: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for i in 0..u.len() {
+            for a in &u.info(NameId(i as u32)).addrs {
+                *by_addr.entry(*a).or_default() += 1;
+            }
+        }
+        let shared_addrs = by_addr.values().filter(|c| **c > 1).count();
+        assert!(shared_addrs > 50, "expected co-hosting, got {shared_addrs} shared addrs");
+    }
+
+    #[test]
+    fn popular_services_picked_more() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if u.pick_service(&mut rng).0 < 30 {
+                head += 1;
+            }
+        }
+        assert!(head > DRAWS / 10, "zipf head too light: {head}");
+    }
+
+    #[test]
+    fn embedded_mix_includes_shared_and_own() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Find a service with extras.
+        let svc = (0..u.services.len())
+            .map(|i| ServiceId(i as u32))
+            .find(|s| !u.services[s.0 as usize].extras.is_empty())
+            .unwrap();
+        let mut own = 0;
+        let mut shared = 0;
+        for _ in 0..200 {
+            for id in u.embedded_for_page(svc, 6, &mut rng) {
+                if u.services[svc.0 as usize].extras.contains(&id) {
+                    own += 1;
+                } else {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(own > 0 && shared > 0);
+    }
+
+    #[test]
+    fn answers_rotate_but_preserve_set() {
+        let u = universe();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Find a multi-address name.
+        let id = (0..u.len())
+            .map(|i| NameId(i as u32))
+            .find(|n| u.info(*n).addrs.len() > 1)
+            .unwrap();
+        let reference: std::collections::BTreeSet<_> = u.info(id).addrs.iter().copied().collect();
+        for _ in 0..20 {
+            let (_, addrs, ttl) = u.answers(id, &mut rng);
+            let set: std::collections::BTreeSet<_> = addrs.iter().copied().collect();
+            assert_eq!(set, reference);
+            assert_eq!(ttl, u.info(id).ttl);
+        }
+    }
+
+    #[test]
+    fn connectivity_check_is_special() {
+        let u = universe();
+        let cc = u.connectivity_check();
+        assert_eq!(u.info(cc).fqdn, "connectivitycheck.gstatic.com");
+        assert!(u.popularity(cc) > 0.01);
+    }
+}

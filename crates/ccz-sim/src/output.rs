@@ -1,0 +1,630 @@
+//! Output backends: direct log emission and packet/pcap emission.
+//!
+//! The engine describes what happened (one DNS transaction, one
+//! connection) and a sink turns that into either finished
+//! [`zeek_lite::Logs`] records (fast path) or a time-ordered sequence of
+//! real frames (faithful path, to be re-parsed by the monitor).
+
+use std::io::{self, Write};
+use std::net::Ipv4Addr;
+
+use dns_wire::{Message, Name, Rcode, Record, RrType};
+use netpkt::{Frame, MacAddr, TcpFlags, TcpHeader};
+use zeek_lite::{
+    Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, Logs,
+    MonitorStats, Proto, Timestamp,
+};
+
+/// One DNS transaction as the engine describes it.
+#[derive(Debug, Clone)]
+pub struct DnsEmission {
+    /// Query departure time.
+    pub ts: Timestamp,
+    /// House (NAT) address.
+    pub client: Ipv4Addr,
+    /// Resolver address queried.
+    pub resolver: Ipv4Addr,
+    /// Transaction id.
+    pub trans_id: u16,
+    /// Ephemeral client port.
+    pub client_port: u16,
+    /// Query name.
+    pub query: String,
+    /// Lookup duration.
+    pub rtt: Duration,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Optional CNAME ahead of the address records.
+    pub cname: Option<String>,
+    /// Address answers.
+    pub addrs: Vec<Ipv4Addr>,
+    /// TTL on the answer records.
+    pub ttl: u32,
+}
+
+/// One connection as the engine describes it.
+#[derive(Debug, Clone)]
+pub struct ConnEmission {
+    /// First-packet time.
+    pub ts: Timestamp,
+    /// House (NAT) address.
+    pub house: Ipv4Addr,
+    /// Originator (ephemeral) port.
+    pub orig_port: u16,
+    /// Server address.
+    pub dst: Ipv4Addr,
+    /// Server port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Total lifetime (first packet to last).
+    pub duration: Duration,
+    /// Payload bytes house → server.
+    pub orig_bytes: u64,
+    /// Payload bytes server → house.
+    pub resp_bytes: u64,
+    /// Network RTT to the server (packet pacing in pcap mode).
+    pub rtt: Duration,
+    /// How the connection ended.
+    pub fate: ConnFate,
+}
+
+/// Connection outcomes the simulator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFate {
+    /// Established and closed cleanly.
+    Established,
+    /// No answer from the peer (hard-coded dead servers, gone P2P peers).
+    NoAnswer,
+    /// Actively refused (RST to the SYN).
+    Refused,
+}
+
+/// Where engine emissions go.
+pub trait Sink {
+    /// Record one DNS transaction.
+    fn dns(&mut self, e: &DnsEmission);
+    /// Record one connection.
+    fn conn(&mut self, e: &ConnEmission);
+}
+
+/// Builds `zeek_lite::Logs` directly, bypassing packets. Connection uids
+/// equal the ground-truth index of the connection, which survives the
+/// final time-sort and lets tests join logs back to truth exactly.
+pub struct LogSink {
+    conns: Vec<ConnRecord>,
+    dns: Vec<DnsTransaction>,
+}
+
+impl LogSink {
+    /// An empty sink.
+    pub fn new() -> LogSink {
+        LogSink { conns: Vec::new(), dns: Vec::new() }
+    }
+
+    /// Finish into sorted logs.
+    pub fn into_logs(self) -> Logs {
+        self.into_logs_and_dns_perm().0
+    }
+
+    /// Finish into sorted logs, also returning the DNS permutation:
+    /// `perm[emission_index] = sorted_index`. Emission order is only
+    /// approximately time-ordered (the engine emits future-offset actions
+    /// eagerly), so ground-truth indices must be remapped through this.
+    /// Connection identity survives the sort via `uid`; DNS records have
+    /// no uid field, hence the explicit permutation.
+    pub fn into_logs_and_dns_perm(self) -> (Logs, Vec<usize>) {
+        let mut order: Vec<usize> = (0..self.dns.len()).collect();
+        order.sort_by_key(|i| self.dns[*i].ts);
+        let mut perm = vec![0usize; order.len()];
+        for (sorted_pos, emission_idx) in order.iter().enumerate() {
+            perm[*emission_idx] = sorted_pos;
+        }
+        let mut dns_sorted: Vec<Option<DnsTransaction>> = self.dns.into_iter().map(Some).collect();
+        let dns: Vec<DnsTransaction> = order
+            .iter()
+            .map(|i| dns_sorted[*i].take().expect("permutation is a bijection"))
+            .collect();
+        let mut logs = Logs {
+            conns: self.conns,
+            dns,
+            stats: MonitorStats::default(),
+        };
+        logs.conns.sort_by_key(|c| c.ts);
+        (logs, perm)
+    }
+}
+
+impl Default for LogSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for LogSink {
+    fn dns(&mut self, e: &DnsEmission) {
+        let mut answers = Vec::with_capacity(e.addrs.len() + 1);
+        if let Some(c) = &e.cname {
+            answers.push(Answer { data: AnswerData::Cname(c.clone()), ttl: e.ttl });
+        }
+        for a in &e.addrs {
+            answers.push(Answer { data: AnswerData::Addr(*a), ttl: e.ttl });
+        }
+        self.dns.push(DnsTransaction {
+            ts: e.ts,
+            client: e.client,
+            resolver: e.resolver,
+            trans_id: e.trans_id,
+            query: e.query.clone(),
+            qtype: RrType::A,
+            rcode: Some(e.rcode),
+            rtt: Some(e.rtt),
+            answers,
+        });
+    }
+
+    fn conn(&mut self, e: &ConnEmission) {
+        let (state, resp_pkts, orig_pkts, history) = match e.fate {
+            ConnFate::Established => {
+                let op = 4 + e.orig_bytes / 1448;
+                let rp = 3 + e.resp_bytes / 1448;
+                (ConnState::SF, rp, op, "ShAaFf".to_string())
+            }
+            ConnFate::NoAnswer => (ConnState::S0, 0, 3, "S".to_string()),
+            ConnFate::Refused => (ConnState::Rej, 1, 1, "Sr".to_string()),
+        };
+        let success = e.fate == ConnFate::Established;
+        // Failure semantics mirror what a monitor recovers from packets:
+        // a failed UDP "connection" still carried the originator's
+        // datagrams; a failed TCP handshake carried no payload at all.
+        let (orig_bytes, resp_bytes) = match (success, e.proto) {
+            (true, _) => (e.orig_bytes, e.resp_bytes),
+            (false, Proto::Udp) => (e.orig_bytes, 0),
+            (false, Proto::Tcp) => (0, 0),
+        };
+        self.conns.push(ConnRecord {
+            uid: self.conns.len() as u64,
+            ts: e.ts,
+            id: FiveTuple {
+                orig_addr: e.house,
+                orig_port: e.orig_port,
+                resp_addr: e.dst,
+                resp_port: e.dst_port,
+                proto: e.proto,
+            },
+            duration: e.duration,
+            orig_bytes,
+            resp_bytes,
+            orig_pkts,
+            resp_pkts,
+            state,
+            history,
+            service: zeek_lite_service(e.proto, e.dst_port),
+        });
+    }
+}
+
+fn zeek_lite_service(proto: Proto, port: u16) -> Option<&'static str> {
+    // Mirror of zeek-lite's port map for records built without packets.
+    match (proto, port) {
+        (_, 53) => Some("dns"),
+        (_, 853) => Some("dot"),
+        (Proto::Tcp, 80) => Some("http"),
+        (Proto::Tcp, 443) => Some("ssl"),
+        (Proto::Udp, 443) => Some("quic"),
+        (Proto::Udp, 123) => Some("ntp"),
+        (Proto::Tcp, 25) | (Proto::Tcp, 465) | (Proto::Tcp, 587) => Some("smtp"),
+        (Proto::Tcp, 993) => Some("imap"),
+        (Proto::Udp, 5353) => Some("mdns"),
+        _ => None,
+    }
+}
+
+/// A frame waiting to be written in time order.
+struct PendingFrame {
+    ts: Timestamp,
+    seq: u64,
+    frame: Frame,
+}
+
+/// Expands emissions into real frames and writes a pcap stream.
+///
+/// Frames are buffered and time-sorted before writing (connections
+/// overlap, so emission order is not capture order); memory is
+/// proportional to packet count, so this backend is intended for the
+/// validation scale, not for full-week sweeps.
+pub struct PcapSink {
+    frames: Vec<PendingFrame>,
+    seq: u64,
+}
+
+impl PcapSink {
+    /// An empty sink.
+    pub fn new() -> PcapSink {
+        PcapSink { frames: Vec::new(), seq: 0 }
+    }
+
+    fn push(&mut self, ts: Timestamp, frame: Frame) {
+        self.seq += 1;
+        self.frames.push(PendingFrame { ts, seq: self.seq, frame });
+    }
+
+    /// Number of frames buffered.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Sort by time and write the capture.
+    pub fn write_pcap<W: Write>(mut self, out: W, snaplen: u32) -> io::Result<u64> {
+        self.frames.sort_by_key(|f| (f.ts, f.seq));
+        let mut w = pcapio::PcapWriter::new(out, snaplen, pcapio::TsPrecision::Nano)?;
+        for f in &self.frames {
+            let bytes = f.frame.encode();
+            w.write_packet(f.ts.nanos(), &bytes, Some(f.frame.wire_len() as u32))?;
+        }
+        let n = w.packets_written();
+        w.into_inner()?;
+        Ok(n)
+    }
+}
+
+impl Default for PcapSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for PcapSink {
+    fn dns(&mut self, e: &DnsEmission) {
+        let name = Name::parse(&e.query).expect("simulator names are valid");
+        let query = Message::query(e.trans_id, name.clone(), RrType::A);
+        self.push(
+            e.ts,
+            Frame::udp(
+                MacAddr::LOCAL,
+                MacAddr::UPSTREAM,
+                e.client,
+                e.resolver,
+                e.client_port,
+                dns_wire::DNS_PORT,
+                &query.encode(),
+            ),
+        );
+        if e.rcode == Rcode::NxDomain && e.addrs.is_empty() {
+            // RFC 2308 negative response: SOA of the missing name's zone.
+            let zone = name.base_domain();
+            let soa = dns_wire::SoaData {
+                mname: Name::parse("ns1.cdnint.net").expect("static name"),
+                rname: Name::parse("hostmaster.cdnint.net").expect("static name"),
+                serial: 2019_02_06,
+                refresh: 7_200,
+                retry: 3_600,
+                expire: 1_209_600,
+                minimum: e.ttl,
+            };
+            let resp = query.nxdomain_response(zone, soa);
+            self.push(
+                e.ts + e.rtt,
+                Frame::udp(
+                    MacAddr::UPSTREAM,
+                    MacAddr::LOCAL,
+                    e.resolver,
+                    e.client,
+                    dns_wire::DNS_PORT,
+                    e.client_port,
+                    &resp.encode(),
+                ),
+            );
+            return;
+        }
+        let mut resp = query.answer_template();
+        resp.flags.rcode = e.rcode;
+        if let Some(c) = &e.cname {
+            let target = Name::parse(c).expect("valid cname");
+            resp.answers.push(Record::cname(name.clone(), e.ttl, target.clone()));
+            for a in &e.addrs {
+                resp.answers.push(Record::a(target.clone(), e.ttl, *a));
+            }
+        } else {
+            for a in &e.addrs {
+                resp.answers.push(Record::a(name.clone(), e.ttl, *a));
+            }
+        }
+        self.push(
+            e.ts + e.rtt,
+            Frame::udp(
+                MacAddr::UPSTREAM,
+                MacAddr::LOCAL,
+                e.resolver,
+                e.client,
+                dns_wire::DNS_PORT,
+                e.client_port,
+                &resp.encode(),
+            ),
+        );
+    }
+
+    fn conn(&mut self, e: &ConnEmission) {
+        match e.proto {
+            Proto::Tcp => self.tcp_conn(e),
+            Proto::Udp => self.udp_conn(e),
+        }
+    }
+}
+
+impl PcapSink {
+    fn tcp_conn(&mut self, e: &ConnEmission) {
+        // Initial sequence numbers derived from the flow so replays are
+        // deterministic.
+        let isn_o = (e.ts.nanos() as u32).wrapping_mul(2654435761);
+        let isn_r = isn_o.wrapping_add(0x1234_5678);
+        let half = Duration(e.rtt.nanos() / 2);
+        let syn = |seq| TcpHeader::syn(e.orig_port, e.dst_port, seq);
+        let out = |h: TcpHeader| {
+            Frame::tcp(MacAddr::LOCAL, MacAddr::UPSTREAM, e.house, e.dst, h, &[])
+        };
+        let back = |h: TcpHeader| {
+            Frame::tcp(MacAddr::UPSTREAM, MacAddr::LOCAL, e.dst, e.house, h, &[])
+        };
+        match e.fate {
+            ConnFate::NoAnswer => {
+                // SYN + two retransmits, one second apart (classic backoff).
+                for (i, dt) in [0u64, 1, 3].iter().enumerate() {
+                    let _ = i;
+                    self.push(e.ts + Duration::from_secs(*dt), out(syn(isn_o)));
+                }
+            }
+            ConnFate::Refused => {
+                self.push(e.ts, out(syn(isn_o)));
+                self.push(
+                    e.ts + e.rtt,
+                    back(TcpHeader::segment(e.dst_port, e.orig_port, 0, isn_o + 1, TcpFlags::RST)),
+                );
+            }
+            ConnFate::Established => {
+                self.push(e.ts, out(syn(isn_o)));
+                self.push(e.ts + half, back(TcpHeader {
+                    flags: TcpFlags::SYN_ACK,
+                    ..TcpHeader::syn(e.dst_port, e.orig_port, isn_r)
+                }));
+                self.push(e.ts + e.rtt, out(TcpHeader::segment(
+                    e.orig_port, e.dst_port, isn_o.wrapping_add(1), isn_r.wrapping_add(1), TcpFlags::ACK,
+                )));
+                // Mid-connection sequence markers: enough to keep the
+                // monitor's inactivity timers from splitting the flow, and
+                // to spread byte progress across the lifetime. Byte counts
+                // are carried purely in sequence space (payloads are not
+                // materialised), exactly like a snaplen-limited capture.
+                let end = e.ts + e.duration;
+                let markers = (e.duration.as_secs() / 100).min(64) + 1;
+                for k in 1..=markers {
+                    let frac = k as f64 / markers as f64;
+                    let at = e.ts + Duration((e.duration.nanos() as f64 * frac) as u64);
+                    if at >= end {
+                        break;
+                    }
+                    let o_prog = (e.orig_bytes as f64 * frac) as u32;
+                    let r_prog = (e.resp_bytes as f64 * frac) as u32;
+                    self.push(at, out(TcpHeader::segment(
+                        e.orig_port, e.dst_port,
+                        isn_o.wrapping_add(1).wrapping_add(o_prog),
+                        isn_r.wrapping_add(1).wrapping_add(r_prog),
+                        TcpFlags::PSH_ACK,
+                    )));
+                    self.push(at + half, back(TcpHeader::segment(
+                        e.dst_port, e.orig_port,
+                        isn_r.wrapping_add(1).wrapping_add(r_prog),
+                        isn_o.wrapping_add(1).wrapping_add(o_prog),
+                        TcpFlags::PSH_ACK,
+                    )));
+                }
+                // Clean close carrying the final sequence positions.
+                let fin_o = isn_o.wrapping_add(1).wrapping_add(e.orig_bytes as u32);
+                let fin_r = isn_r.wrapping_add(1).wrapping_add(e.resp_bytes as u32);
+                self.push(end, out(TcpHeader::segment(
+                    e.orig_port, e.dst_port, fin_o, fin_r, TcpFlags::FIN_ACK,
+                )));
+                self.push(end + half, back(TcpHeader::segment(
+                    e.dst_port, e.orig_port, fin_r, fin_o.wrapping_add(1), TcpFlags::FIN_ACK,
+                )));
+                self.push(end + e.rtt, out(TcpHeader::segment(
+                    e.orig_port, e.dst_port, fin_o.wrapping_add(1), fin_r.wrapping_add(1), TcpFlags::ACK,
+                )));
+            }
+        }
+    }
+
+    fn udp_conn(&mut self, e: &ConnEmission) {
+        let half = Duration(e.rtt.nanos() / 2);
+        // Enough datagrams that (i) no inter-packet gap exceeds the
+        // monitor's 60 s flow timeout and (ii) no single datagram declares
+        // more than the UDP maximum.
+        let by_time = e.duration.as_secs() / 25 + 1;
+        let by_size = (e.orig_bytes.max(e.resp_bytes) / 60_000) + 1;
+        let steps = by_time.max(by_size).clamp(1, 4096);
+        let per_o = split_bytes(e.orig_bytes, steps);
+        let per_r = split_bytes(e.resp_bytes, steps);
+        for k in 0..steps {
+            let at = e.ts + Duration((e.duration.nanos() as f64 * k as f64 / steps as f64) as u64);
+            self.push(at, Frame::udp_virtual(
+                MacAddr::LOCAL, MacAddr::UPSTREAM, e.house, e.dst,
+                e.orig_port, e.dst_port, per_o[k as usize] as usize,
+            ));
+            if e.fate == ConnFate::Established && per_r[k as usize] > 0 {
+                self.push(at + half, Frame::udp_virtual(
+                    MacAddr::UPSTREAM, MacAddr::LOCAL, e.dst, e.house,
+                    e.dst_port, e.orig_port, per_r[k as usize] as usize,
+                ));
+            }
+        }
+    }
+}
+
+/// Split `total` bytes into `steps` chunks that sum exactly. A zero total
+/// yields all-zero chunks: the datagrams are still emitted (a flow needs
+/// packets to exist) but declare no payload, matching the log backend.
+fn split_bytes(total: u64, steps: u64) -> Vec<u64> {
+    let base = total / steps;
+    let rem = total % steps;
+    (0..steps).map(|k| base + if k < rem { 1 } else { 0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeek_lite::{Monitor, MonitorConfig};
+
+    fn dns_emission() -> DnsEmission {
+        DnsEmission {
+            ts: Timestamp::from_secs(10),
+            client: Ipv4Addr::new(10, 77, 0, 1),
+            resolver: Ipv4Addr::new(198, 51, 100, 53),
+            trans_id: 99,
+            client_port: 54000,
+            query: "www.s0001.com".into(),
+            rtt: Duration::from_millis(6),
+            rcode: Rcode::NoError,
+            cname: Some("edge-1.cdnint.net".into()),
+            addrs: vec![Ipv4Addr::new(104, 16, 0, 5)],
+            ttl: 300,
+        }
+    }
+
+    fn conn_emission(fate: ConnFate, proto: Proto) -> ConnEmission {
+        ConnEmission {
+            ts: Timestamp::from_secs(11),
+            house: Ipv4Addr::new(10, 77, 0, 1),
+            orig_port: 50001,
+            dst: Ipv4Addr::new(104, 16, 0, 5),
+            dst_port: 443,
+            proto,
+            duration: Duration::from_millis(800),
+            orig_bytes: 1_200,
+            resp_bytes: 250_000,
+            rtt: Duration::from_millis(20),
+            fate,
+        }
+    }
+
+    #[test]
+    fn log_sink_produces_matching_records() {
+        let mut sink = LogSink::new();
+        sink.dns(&dns_emission());
+        sink.conn(&conn_emission(ConnFate::Established, Proto::Tcp));
+        let logs = sink.into_logs();
+        assert_eq!(logs.dns.len(), 1);
+        assert_eq!(logs.conns.len(), 1);
+        let d = &logs.dns[0];
+        assert_eq!(d.answers.len(), 2); // cname + addr
+        assert_eq!(d.min_ttl(), Some(300));
+        let c = &logs.conns[0];
+        assert_eq!(c.state, ConnState::SF);
+        assert_eq!(c.resp_bytes, 250_000);
+        assert_eq!(c.service, Some("ssl"));
+    }
+
+    #[test]
+    fn log_sink_failed_conns_have_no_bytes() {
+        let mut sink = LogSink::new();
+        sink.conn(&conn_emission(ConnFate::NoAnswer, Proto::Tcp));
+        sink.conn(&conn_emission(ConnFate::Refused, Proto::Tcp));
+        let logs = sink.into_logs();
+        assert_eq!(logs.conns[0].state, ConnState::S0);
+        assert_eq!(logs.conns[0].resp_bytes, 0);
+        assert_eq!(logs.conns[1].state, ConnState::Rej);
+    }
+
+    /// The crucial fidelity property: pcap emission re-parsed by the real
+    /// monitor must reproduce the same transactions and byte counts the
+    /// log sink produces directly.
+    #[test]
+    fn pcap_sink_agrees_with_log_sink() {
+        let d = dns_emission();
+        let ct = conn_emission(ConnFate::Established, Proto::Tcp);
+        let cu = {
+            let mut c = conn_emission(ConnFate::Established, Proto::Udp);
+            c.orig_port = 50002;
+            c.duration = Duration::from_secs(130); // forces multiple datagrams
+            c
+        };
+        let failed = {
+            let mut c = conn_emission(ConnFate::NoAnswer, Proto::Udp);
+            c.orig_port = 50003;
+            c.dst_port = 123;
+            c.orig_bytes = 48;
+            c.resp_bytes = 0;
+            c.duration = Duration::ZERO;
+            c
+        };
+
+        let mut pcap = PcapSink::new();
+        pcap.dns(&d);
+        pcap.conn(&ct);
+        pcap.conn(&cu);
+        pcap.conn(&failed);
+        let mut buf = Vec::new();
+        let frames = pcap.write_pcap(&mut buf, 128).unwrap();
+        assert!(frames > 8);
+
+        let logs = Monitor::process_pcap(&buf[..], MonitorConfig::default()).unwrap();
+        // DNS side.
+        assert_eq!(logs.dns.len(), 1);
+        assert_eq!(logs.dns[0].query, d.query);
+        assert_eq!(logs.dns[0].rtt, Some(d.rtt));
+        assert_eq!(logs.dns[0].addrs().collect::<Vec<_>>(), d.addrs);
+        // Connections: dns flow + tcp + udp + failed udp.
+        let apps: Vec<_> = logs.app_conns().collect();
+        assert_eq!(apps.len(), 3);
+        let tcp = apps.iter().find(|c| c.id.proto == Proto::Tcp).unwrap();
+        assert_eq!(tcp.state, ConnState::SF);
+        assert_eq!(tcp.orig_bytes, ct.orig_bytes);
+        assert_eq!(tcp.resp_bytes, ct.resp_bytes);
+        assert_eq!(tcp.ts, ct.ts);
+        assert_eq!(tcp.duration.as_secs(), ct.duration.as_secs() + 0); // close handshake adds < 1 s
+        let udp_ok = apps
+            .iter()
+            .find(|c| c.id.proto == Proto::Udp && c.id.resp_port == 443)
+            .unwrap();
+        assert_eq!(udp_ok.orig_bytes, cu.orig_bytes);
+        assert_eq!(udp_ok.resp_bytes, cu.resp_bytes);
+        let ntp = apps
+            .iter()
+            .find(|c| c.id.resp_port == 123)
+            .unwrap();
+        assert_eq!(ntp.state, ConnState::S0);
+        assert_eq!(ntp.resp_bytes, 0);
+    }
+
+    #[test]
+    fn refused_tcp_parses_as_rej() {
+        let mut pcap = PcapSink::new();
+        pcap.conn(&conn_emission(ConnFate::Refused, Proto::Tcp));
+        let mut buf = Vec::new();
+        pcap.write_pcap(&mut buf, 128).unwrap();
+        let logs = Monitor::process_pcap(&buf[..], MonitorConfig::default()).unwrap();
+        assert_eq!(logs.conns[0].state, ConnState::Rej);
+    }
+
+    #[test]
+    fn long_tcp_conn_survives_inactivity_timeout() {
+        let mut e = conn_emission(ConnFate::Established, Proto::Tcp);
+        e.duration = Duration::from_secs(1_200); // 20 minutes
+        let mut pcap = PcapSink::new();
+        pcap.conn(&e);
+        let mut buf = Vec::new();
+        pcap.write_pcap(&mut buf, 128).unwrap();
+        let logs = Monitor::process_pcap(&buf[..], MonitorConfig::default()).unwrap();
+        let apps: Vec<_> = logs.app_conns().collect();
+        assert_eq!(apps.len(), 1, "flow must not be split by the tcp timeout");
+        assert_eq!(apps[0].resp_bytes, e.resp_bytes);
+    }
+
+    #[test]
+    fn split_bytes_sums_exactly() {
+        for (total, steps) in [(0u64, 1u64), (10, 3), (60_001, 2), (1_000_000, 7)] {
+            let v = split_bytes(total, steps);
+            assert_eq!(v.len(), steps as usize);
+            assert_eq!(v.iter().sum::<u64>(), total);
+        }
+    }
+}

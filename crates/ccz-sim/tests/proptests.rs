@@ -1,0 +1,93 @@
+//! Property tests for the simulator: determinism, config robustness, and
+//! structural invariants of the generated logs for arbitrary seeds.
+
+use ccz_sim::{ConnClass, ScaleKnobs, Simulation, WorkloadConfig};
+use proptest::prelude::*;
+
+fn tiny(houses: usize, days: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity: 1.0 },
+        services: 150,
+        shared_services: 25,
+        ..WorkloadConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed: same seed twice gives identical logs; different seeds
+    /// give different logs.
+    #[test]
+    fn deterministic_per_seed(seed in any::<u64>()) {
+        let sim = Simulation::new(tiny(3, 0.02), seed).unwrap();
+        let a = sim.run();
+        let b = sim.run();
+        prop_assert_eq!(&a.logs.conns, &b.logs.conns);
+        prop_assert_eq!(&a.logs.dns, &b.logs.dns);
+        let other = Simulation::new(tiny(3, 0.02), seed.wrapping_add(1)).unwrap().run();
+        prop_assert!(a.logs.conns != other.logs.conns || a.logs.dns != other.logs.dns);
+    }
+
+    /// Structural invariants hold for arbitrary seeds: truth aligns with
+    /// logs, timestamps ordered, DNS-using conns reference valid lookups
+    /// that completed before the conn and contain the destination.
+    #[test]
+    fn structural_invariants(seed in any::<u64>()) {
+        let out = Simulation::new(tiny(4, 0.03), seed).unwrap().run();
+        prop_assert_eq!(out.truth.conns.len(), out.logs.conns.len());
+        prop_assert_eq!(out.truth.dns.len(), out.logs.dns.len());
+        // Logs sorted.
+        prop_assert!(out.logs.conns.windows(2).all(|w| w[0].ts <= w[1].ts));
+        prop_assert!(out.logs.dns.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for conn in &out.logs.conns {
+            let t = &out.truth.conns[conn.uid as usize];
+            prop_assert_eq!(t.resp_addr, conn.id.resp_addr);
+            match t.class {
+                ConnClass::NoDns => prop_assert!(t.dns_index.is_none()),
+                _ => {
+                    let di = t.dns_index.unwrap();
+                    let txn = &out.logs.dns[..]; // index space check
+                    prop_assert!(di < txn.len());
+                    let txn = &out.logs.dns[di];
+                    prop_assert!(txn.completed_at().unwrap() <= conn.ts);
+                    prop_assert!(txn.addrs().any(|a| a == conn.id.resp_addr));
+                    // Blocked classes start within the app-delay budget.
+                    if matches!(t.class, ConnClass::SharedCache | ConnClass::Resolution) {
+                        let gap = conn.ts.since(txn.completed_at().unwrap());
+                        prop_assert!(gap.as_millis_f64() <= 450.0, "blocked gap {gap}");
+                    }
+                }
+            }
+        }
+        // Platform stats account for every lookup.
+        let total: u64 = out.platform_stats.iter().map(|(_, q, _)| *q).sum();
+        prop_assert_eq!(total as usize, out.logs.dns.len());
+    }
+
+    /// Volume scales roughly linearly with houses. Per-house variance is
+    /// heavy-tailed (device counts, P2P flags), so the bounds are generous
+    /// and the sample sizes large enough to average over it.
+    #[test]
+    fn volume_scales_with_houses(seed in 0u64..100) {
+        let small = Simulation::new(tiny(4, 0.05), seed).unwrap().run();
+        let large = Simulation::new(tiny(16, 0.05), seed).unwrap().run();
+        let ratio = large.logs.conns.len() as f64 / small.logs.conns.len().max(1) as f64;
+        prop_assert!(ratio > 1.4 && ratio < 12.0, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    let mut c = tiny(1, 0.01);
+    c.scale.activity = 0.0;
+    assert!(Simulation::new(c, 1).is_err());
+
+    let mut c = tiny(1, 0.01);
+    c.cohost_fraction = -0.5;
+    assert!(Simulation::new(c, 1).is_err());
+
+    let mut c = tiny(1, 0.01);
+    c.ttl_classes = vec![(0, 1.0)];
+    assert!(Simulation::new(c, 1).is_err());
+}

@@ -1,0 +1,221 @@
+//! The one-stop analysis facade.
+
+use crate::blocking::GapAnalysis;
+use crate::classify::{
+    classify, count_classes, no_dns_breakdown, resolver_thresholds, ttl_stats, ClassCounts,
+    ConnClass, NoDnsBreakdown, ThresholdRule, TtlStats,
+};
+use crate::pairing::{Pairing, PairingPolicy};
+use crate::perf::{PerfAnalysis, Significance};
+use crate::resolver::{platform_reports, PlatformMap, PlatformReport};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use zeek_lite::{Duration, Logs};
+
+/// Analysis knobs, defaulting to the paper's choices.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Pairing policy (paper main result: most recent).
+    pub policy: PairingPolicy,
+    /// Blocking threshold (paper: 100 ms, conservative vs the 20 ms knee).
+    pub block_threshold: Duration,
+    /// The knee used for Figure 1's first-use split (paper: 20 ms).
+    pub knee: Duration,
+    /// SC/R resolver threshold derivation.
+    pub threshold_rule: ThresholdRule,
+    /// §6 absolute significance threshold, ms (paper: 20).
+    pub significance_abs_ms: f64,
+    /// §6 relative significance threshold, percent (paper: 1).
+    pub significance_rel_pct: f64,
+    /// Resolver-address → platform mapping.
+    pub platform_map: PlatformMap,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            policy: PairingPolicy::MostRecent,
+            block_threshold: Duration::from_millis(100),
+            knee: Duration::from_millis(20),
+            threshold_rule: ThresholdRule::default(),
+            significance_abs_ms: 20.0,
+            significance_rel_pct: 1.0,
+            platform_map: PlatformMap::default(),
+        }
+    }
+}
+
+/// The full pipeline, run once over a set of logs.
+pub struct Analysis<'a> {
+    logs: &'a Logs,
+    cfg: AnalysisConfig,
+    /// Pairing results (one entry per application connection).
+    pub pairing: Pairing,
+    /// Per-connection class, aligned with `pairing.pairs`.
+    pub classes: Vec<ConnClass>,
+    /// Derived per-resolver SC/R thresholds.
+    pub thresholds: HashMap<Ipv4Addr, Duration>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Run pairing, threshold derivation, and classification.
+    pub fn run(logs: &'a Logs, cfg: AnalysisConfig) -> Analysis<'a> {
+        let pairing = Pairing::build(&logs.conns, &logs.dns, cfg.policy);
+        let thresholds = resolver_thresholds(&logs.dns, cfg.threshold_rule);
+        let floor = Duration::from_secs_f64(cfg.threshold_rule.floor_ms / 1e3);
+        let classes = classify(&logs.dns, &pairing, cfg.block_threshold, &thresholds, floor);
+        Analysis { logs, cfg, pairing, classes, thresholds }
+    }
+
+    /// The logs under analysis.
+    pub fn logs(&self) -> &Logs {
+        self.logs
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.cfg
+    }
+
+    /// Table 2.
+    pub fn class_counts(&self) -> ClassCounts {
+        count_classes(&self.classes)
+    }
+
+    /// Figure 1.
+    pub fn gap_analysis(&self) -> GapAnalysis {
+        GapAnalysis::compute(&self.pairing, self.cfg.knee)
+    }
+
+    /// §5.1.
+    pub fn no_dns_breakdown(&self) -> NoDnsBreakdown {
+        no_dns_breakdown(&self.logs.conns, &self.pairing, &self.classes)
+    }
+
+    /// §5.2.
+    pub fn ttl_stats(&self) -> TtlStats {
+        ttl_stats(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
+    }
+
+    /// §6 / Figure 2.
+    pub fn perf(&self) -> PerfAnalysis {
+        PerfAnalysis::compute(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
+    }
+
+    /// §6's quadrants at the configured thresholds.
+    pub fn significance(&self) -> Significance {
+        self.perf().significance(
+            self.cfg.significance_abs_ms,
+            self.cfg.significance_rel_pct,
+            self.pairing.app_conn_count(),
+        )
+    }
+
+    /// Class mix over fixed-width time buckets (operator view).
+    pub fn timeseries(&self, width: Duration) -> Vec<crate::timeseries::Bucket> {
+        crate::timeseries::bucketize(&self.logs.conns, &self.pairing, &self.classes, width)
+    }
+
+    /// Diurnal (hour-of-day) classification profile.
+    pub fn diurnal_profile(&self) -> [(u8, ClassCounts); 24] {
+        crate::timeseries::hour_of_day_profile(&self.logs.conns, &self.pairing, &self.classes)
+    }
+
+    /// Per-house breakdown (operator view; not a paper artifact).
+    pub fn house_reports(&self) -> Vec<crate::house::HouseReport> {
+        crate::house::house_reports(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
+    }
+
+    /// Table 1 / §7 / Figure 3.
+    pub fn platform_reports(&self) -> Vec<PlatformReport> {
+        platform_reports(
+            &self.logs.conns,
+            &self.logs.dns,
+            &self.pairing,
+            &self.classes,
+            &self.cfg.platform_map,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeek_lite::{Answer, ConnRecord, ConnState, DnsTransaction, FiveTuple, Proto, Timestamp};
+
+    fn small_logs() -> Logs {
+        let house = std::net::Ipv4Addr::new(10, 77, 0, 1);
+        let resolver = std::net::Ipv4Addr::new(198, 51, 100, 53);
+        let server = std::net::Ipv4Addr::new(104, 16, 0, 1);
+        let dns = vec![DnsTransaction {
+            ts: Timestamp::from_millis(1_000),
+            client: house,
+            resolver,
+            trans_id: 1,
+            query: "www.example.com".into(),
+            qtype: dns_wire::RrType::A,
+            rcode: Some(dns_wire::Rcode::NoError),
+            rtt: Some(Duration::from_millis(4)),
+            answers: vec![Answer::addr(server, 300)],
+        }];
+        let mk_conn = |ts_ms: u64, uid: u64| ConnRecord {
+            uid,
+            ts: Timestamp::from_millis(ts_ms),
+            id: FiveTuple {
+                orig_addr: house,
+                orig_port: 50_000 + uid as u16,
+                resp_addr: server,
+                resp_port: 443,
+                proto: Proto::Tcp,
+            },
+            duration: Duration::from_millis(900),
+            orig_bytes: 500,
+            resp_bytes: 60_000,
+            orig_pkts: 6,
+            resp_pkts: 40,
+            state: ConnState::SF,
+            history: "ShAaFf".into(),
+            service: Some("ssl"),
+        };
+        let mut logs = Logs {
+            conns: vec![mk_conn(1_006, 0), mk_conn(30_000, 1)],
+            dns,
+            stats: Default::default(),
+        };
+        logs.sort();
+        logs
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let logs = small_logs();
+        let mut cfg = AnalysisConfig::default();
+        cfg.threshold_rule.min_lookups = 1;
+        let a = Analysis::run(&logs, cfg);
+        let counts = a.class_counts();
+        assert_eq!(counts.total(), 2);
+        // First conn blocks (gap 2 ms) on a fast lookup → SC;
+        // second reuses it 29 s later → LC.
+        assert_eq!(counts.shared_cache, 1);
+        assert_eq!(counts.local_cache, 1);
+        let gaps = a.gap_analysis();
+        assert_eq!(gaps.gaps_ms.len(), 2);
+        let perf = a.perf();
+        assert_eq!(perf.blocked.len(), 1);
+        let sig = a.significance();
+        assert_eq!(sig.neither_pct, 100.0);
+        let reports = a.platform_reports();
+        let local = reports.iter().find(|r| r.name == "Local").unwrap();
+        assert_eq!(local.conns_pct, 100.0);
+    }
+
+    #[test]
+    fn default_config_matches_paper_choices() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(cfg.block_threshold, Duration::from_millis(100));
+        assert_eq!(cfg.knee, Duration::from_millis(20));
+        assert_eq!(cfg.significance_abs_ms, 20.0);
+        assert_eq!(cfg.significance_rel_pct, 1.0);
+        assert_eq!(cfg.threshold_rule.floor_ms, 5.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! DN-Hunter pairing: matching connections with the DNS lookups they use.
+//!
+//! The paper (§4): *"Consider an application connection originating from
+//! local IP address L and destined for remote IP address R. We pair that
+//! connection with the most recent non-expired DNS lookup conducted by L
+//! that contains R in the answer (if such exists). If all previous DNS
+//! lookups containing R are expired, we use the most recent."*
+//!
+//! Pairing ambiguity (several non-expired lookups containing R, from CDN
+//! co-hosting) is counted, and the alternate random-candidate policy the
+//! paper used as a robustness check is available as
+//! [`PairingPolicy::RandomNonExpired`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use zeek_lite::{ConnRecord, DnsTransaction, Duration, Timestamp};
+
+/// Which candidate lookup a connection pairs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingPolicy {
+    /// The paper's main policy: the most recent non-expired candidate.
+    MostRecent,
+    /// The paper's robustness check: a uniformly random non-expired
+    /// candidate (seeded for reproducibility).
+    RandomNonExpired,
+}
+
+/// Pairing outcome for one application connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedConn {
+    /// Index into the connection log.
+    pub conn: usize,
+    /// Index into the DNS log of the paired lookup, if any.
+    pub dns: Option<usize>,
+    /// Connection start minus lookup completion (`None` when unpaired).
+    pub gap: Option<Duration>,
+    /// The paired lookup's record had expired before the connection began.
+    pub expired: bool,
+    /// Number of non-expired candidate lookups at connection start
+    /// (the paper's ambiguity measure; 0 when only expired candidates).
+    pub candidates: usize,
+    /// This connection is the earliest to use its paired lookup.
+    pub first_use: bool,
+}
+
+/// One lookup's relevance to one address.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    completed: Timestamp,
+    expires: Timestamp,
+    dns_idx: usize,
+}
+
+/// The pairing index and results.
+pub struct Pairing {
+    /// One entry per *application* connection, in connection-log order.
+    pub pairs: Vec<PairedConn>,
+    /// Indices (into the conn log) of the application connections that
+    /// were analysed, in the same order as `pairs`.
+    pub app_conn_indices: Vec<usize>,
+    /// For each DNS-log index: whether any connection paired with it.
+    pub dns_used: Vec<bool>,
+}
+
+impl Pairing {
+    /// Pair every application connection in `conns` against `dns`.
+    ///
+    /// Both logs must be time-sorted ([`zeek_lite::Logs`] guarantees it).
+    /// DNS-service connections are excluded from the application set, as
+    /// in the paper (the DNS log is its own dataset). The random policy
+    /// draws from a fixed-seed RNG so analyses are reproducible.
+    pub fn build(conns: &[ConnRecord], dns: &[DnsTransaction], policy: PairingPolicy) -> Pairing {
+        // Index lookups by (client, answer address), entries sorted by
+        // completion time (insertion order is ts order, and rtt jitter is
+        // small; sort anyway for strictness).
+        let mut index: HashMap<(Ipv4Addr, Ipv4Addr), Vec<IndexEntry>> = HashMap::new();
+        for (i, txn) in dns.iter().enumerate() {
+            let (Some(completed), Some(expires)) = (txn.completed_at(), txn.expires_at()) else {
+                continue;
+            };
+            for addr in txn.addrs() {
+                index
+                    .entry((txn.client, addr))
+                    .or_default()
+                    .push(IndexEntry { completed, expires, dns_idx: i });
+            }
+        }
+        for entries in index.values_mut() {
+            entries.sort_by_key(|e| e.completed);
+        }
+
+        let mut rng = StdRng::seed_from_u64(0x5ca1ab1e);
+        let mut pairs = Vec::new();
+        let mut app_conn_indices = Vec::new();
+        let mut dns_used = vec![false; dns.len()];
+        let mut first_use_ts: HashMap<usize, Timestamp> = HashMap::new();
+
+        for (ci, conn) in conns.iter().enumerate() {
+            if conn.is_dns() {
+                continue;
+            }
+            app_conn_indices.push(ci);
+            let key = (conn.id.orig_addr, conn.id.resp_addr);
+            let pair = match index.get(&key) {
+                None => PairedConn {
+                    conn: ci,
+                    dns: None,
+                    gap: None,
+                    expired: false,
+                    candidates: 0,
+                    first_use: false,
+                },
+                Some(entries) => {
+                    // Only lookups completed at or before the connection start.
+                    let upto = entries.partition_point(|e| e.completed <= conn.ts);
+                    if upto == 0 {
+                        PairedConn {
+                            conn: ci,
+                            dns: None,
+                            gap: None,
+                            expired: false,
+                            candidates: 0,
+                            first_use: false,
+                        }
+                    } else {
+                        let prior = &entries[..upto];
+                        let live: Vec<&IndexEntry> =
+                            prior.iter().filter(|e| e.expires > conn.ts).collect();
+                        let (chosen, expired) = if live.is_empty() {
+                            (prior.last().unwrap(), true)
+                        } else {
+                            match policy {
+                                PairingPolicy::MostRecent => (*live.last().unwrap(), false),
+                                PairingPolicy::RandomNonExpired => {
+                                    (live[rng.random_range(0..live.len())], false)
+                                }
+                            }
+                        };
+                        PairedConn {
+                            conn: ci,
+                            dns: Some(chosen.dns_idx),
+                            gap: Some(conn.ts.since(chosen.completed)),
+                            expired,
+                            candidates: live.len(),
+                            first_use: false, // filled below
+                        }
+                    }
+                }
+            };
+            pairs.push(pair);
+        }
+
+        // First-use determination: the earliest-starting connection paired
+        // with each lookup (conn log is ts-sorted, so first pairing wins).
+        for pair in &pairs {
+            if let Some(di) = pair.dns {
+                dns_used[di] = true;
+                let ts = conns[pair.conn].ts;
+                first_use_ts.entry(di).or_insert(ts);
+            }
+        }
+        // Ties on timestamp: exactly one connection (the earliest in log
+        // order) is the first use. Single deterministic pass.
+        let mut claimed: HashMap<usize, ()> = HashMap::new();
+        for pair in &mut pairs {
+            if let Some(di) = pair.dns {
+                if first_use_ts[&di] == conns[pair.conn].ts && !claimed.contains_key(&di) {
+                    claimed.insert(di, ());
+                    pair.first_use = true;
+                } else {
+                    pair.first_use = false;
+                }
+            }
+        }
+
+        Pairing { pairs, app_conn_indices, dns_used }
+    }
+
+    /// Number of application connections analysed.
+    pub fn app_conn_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Fraction of *paired* connections with exactly one non-expired
+    /// candidate (the paper reports 82 %).
+    pub fn single_candidate_share(&self) -> f64 {
+        let paired_live: Vec<&PairedConn> = self
+            .pairs
+            .iter()
+            .filter(|p| p.dns.is_some() && !p.expired)
+            .collect();
+        if paired_live.is_empty() {
+            return 0.0;
+        }
+        let single = paired_live.iter().filter(|p| p.candidates == 1).count();
+        single as f64 / paired_live.len() as f64
+    }
+
+    /// Count and share of answered-with-addresses lookups never used by
+    /// any connection (the paper's 37.8 % unused lookups).
+    pub fn unused_lookups(&self, dns: &[DnsTransaction]) -> (usize, f64) {
+        let eligible: Vec<usize> = dns
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.has_addrs() && t.rtt.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return (0, 0.0);
+        }
+        let unused = eligible.iter().filter(|i| !self.dns_used[**i]).count();
+        (unused, unused as f64 / eligible.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeek_lite::{Answer, ConnState, FiveTuple, Proto};
+
+    const HOUSE: Ipv4Addr = Ipv4Addr::new(10, 77, 0, 1);
+    const OTHER_HOUSE: Ipv4Addr = Ipv4Addr::new(10, 77, 0, 2);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(104, 16, 0, 1);
+
+    fn txn(ts_ms: u64, client: Ipv4Addr, addr: Ipv4Addr, ttl: u32) -> DnsTransaction {
+        DnsTransaction {
+            ts: Timestamp::from_millis(ts_ms),
+            client,
+            resolver: RESOLVER,
+            trans_id: 1,
+            query: "www.example.com".into(),
+            qtype: dns_wire::RrType::A,
+            rcode: Some(dns_wire::Rcode::NoError),
+            rtt: Some(Duration::from_millis(10)),
+            answers: vec![Answer::addr(addr, ttl)],
+        }
+    }
+
+    fn conn(ts_ms: u64, client: Ipv4Addr, dst: Ipv4Addr, port: u16) -> ConnRecord {
+        ConnRecord {
+            uid: ts_ms,
+            ts: Timestamp::from_millis(ts_ms),
+            id: FiveTuple {
+                orig_addr: client,
+                orig_port: 50_000,
+                resp_addr: dst,
+                resp_port: port,
+                proto: Proto::Tcp,
+            },
+            duration: Duration::from_millis(500),
+            orig_bytes: 100,
+            resp_bytes: 1_000,
+            orig_pkts: 4,
+            resp_pkts: 4,
+            state: ConnState::SF,
+            history: String::new(),
+            service: zeek_lite_service(port),
+        }
+    }
+
+    fn zeek_lite_service(port: u16) -> Option<&'static str> {
+        match port {
+            53 => Some("dns"),
+            443 => Some("ssl"),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn pairs_with_most_recent_non_expired() {
+        // Two lookups for the same address; conn starts after both.
+        let dns = vec![
+            txn(0, HOUSE, SERVER, 300),
+            txn(5_000, HOUSE, SERVER, 300),
+        ];
+        let conns = vec![conn(6_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.pairs.len(), 1);
+        let pair = &p.pairs[0];
+        assert_eq!(pair.dns, Some(1));
+        assert!(!pair.expired);
+        assert_eq!(pair.candidates, 2);
+        // Gap = 6000 − (5000 + 10 rtt).
+        assert_eq!(pair.gap, Some(Duration::from_millis(990)));
+    }
+
+    #[test]
+    fn expired_fallback_uses_most_recent() {
+        let dns = vec![txn(0, HOUSE, SERVER, 1), txn(2_000, HOUSE, SERVER, 1)];
+        // Conn starts long after both TTLs (1 s) expired.
+        let conns = vec![conn(60_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        let pair = &p.pairs[0];
+        assert_eq!(pair.dns, Some(1));
+        assert!(pair.expired);
+        assert_eq!(pair.candidates, 0);
+    }
+
+    #[test]
+    fn unpaired_when_no_lookup_contains_address() {
+        let dns = vec![txn(0, HOUSE, SERVER, 300)];
+        let conns = vec![conn(1_000, HOUSE, Ipv4Addr::new(9, 9, 9, 9), 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.pairs[0].dns, None);
+    }
+
+    #[test]
+    fn other_clients_lookups_do_not_pair() {
+        let dns = vec![txn(0, OTHER_HOUSE, SERVER, 300)];
+        let conns = vec![conn(1_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.pairs[0].dns, None);
+    }
+
+    #[test]
+    fn lookup_completing_after_conn_start_is_ignored() {
+        // Lookup at t=1000 ms completes at 1010; conn starts at 1005.
+        let dns = vec![txn(1_000, HOUSE, SERVER, 300)];
+        let conns = vec![conn(1_005, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.pairs[0].dns, None);
+    }
+
+    #[test]
+    fn dns_conns_excluded_from_app_set() {
+        let dns = vec![txn(0, HOUSE, SERVER, 300)];
+        let conns = vec![conn(1_000, HOUSE, RESOLVER, 53), conn(2_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.app_conn_count(), 1);
+        assert_eq!(p.app_conn_indices, vec![1]);
+    }
+
+    #[test]
+    fn first_use_marks_exactly_one_conn_per_lookup() {
+        let dns = vec![txn(0, HOUSE, SERVER, 300)];
+        let conns = vec![
+            conn(1_000, HOUSE, SERVER, 443),
+            conn(2_000, HOUSE, SERVER, 443),
+            conn(3_000, HOUSE, SERVER, 443),
+        ];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        let firsts: Vec<bool> = p.pairs.iter().map(|x| x.first_use).collect();
+        assert_eq!(firsts, vec![true, false, false]);
+    }
+
+    #[test]
+    fn unused_lookup_accounting() {
+        let dns = vec![txn(0, HOUSE, SERVER, 300), txn(100, HOUSE, Ipv4Addr::new(9, 9, 9, 9), 300)];
+        let conns = vec![conn(1_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        let (unused, share) = p.unused_lookups(&dns);
+        assert_eq!(unused, 1);
+        assert!((share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_candidate_share_counts_ambiguity() {
+        let dns = vec![
+            txn(0, HOUSE, SERVER, 3_000),
+            txn(1_000, HOUSE, SERVER, 3_000),
+        ];
+        let conns = vec![conn(5_000, HOUSE, SERVER, 443)];
+        let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
+        assert_eq!(p.pairs[0].candidates, 2);
+        assert_eq!(p.single_candidate_share(), 0.0);
+    }
+
+    #[test]
+    fn random_policy_picks_live_candidates() {
+        let dns = vec![
+            txn(0, HOUSE, SERVER, 3_000),
+            txn(1_000, HOUSE, SERVER, 3_000),
+            txn(2_000, HOUSE, SERVER, 3_000),
+        ];
+        let conns: Vec<ConnRecord> = (0..50).map(|i| conn(5_000 + i, HOUSE, SERVER, 443)).collect();
+        let p = Pairing::build(&conns, &dns, PairingPolicy::RandomNonExpired);
+        let mut seen = std::collections::HashSet::new();
+        for pair in &p.pairs {
+            assert!(!pair.expired);
+            seen.insert(pair.dns.unwrap());
+        }
+        assert!(seen.len() > 1, "random policy should spread: {seen:?}");
+    }
+}

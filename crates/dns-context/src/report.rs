@@ -1,0 +1,166 @@
+//! Plain-text table and CDF-series rendering for the experiment harness.
+
+use crate::stats::Ecdf;
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with right-aligned numeric-looking columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                if i == 0 {
+                    let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float with one decimal (the paper's percentage style).
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a count with thousands separators.
+pub fn count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Render a CDF as a CSV-ish series block: `x,F(x)` lines under a header,
+/// suitable for re-plotting a figure.
+pub fn cdf_series(label: &str, e: &Ecdf, points: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# cdf: {label} (n={})", e.len());
+    for (x, f) in e.curve(points) {
+        let _ = writeln!(out, "{x:.6},{f:.4}");
+    }
+    out
+}
+
+/// Render a compact quantile strip for a CDF — a textual stand-in for a
+/// figure's line, with enough anchors to compare shapes.
+pub fn cdf_strip(label: &str, e: &Ecdf, unit: &str) -> String {
+    match crate::stats::Summary::of(e) {
+        None => format!("{label:<28} (empty)\n"),
+        Some(s) => format!(
+            "{label:<28} p10={:>9.2}{u} p25={:>9.2}{u} p50={:>9.2}{u} p75={:>9.2}{u} p90={:>9.2}{u} p99={:>9.2}{u}  (n={})\n",
+            e.quantile(0.10).unwrap(),
+            s.p25,
+            s.median,
+            s.p75,
+            s.p90,
+            s.p99,
+            s.count,
+            u = unit,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Class", "Conns", "%"]);
+        t.row(&["N".into(), "812000".into(), "7.2".into()]);
+        t.row(&["LC".into(), "4800000".into(), "42.9".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Numeric columns right-aligned: the % column values end at the
+        // same character offset.
+        let col_end = |l: &str| l.rfind(|c: char| !c.is_whitespace()).unwrap();
+        assert_eq!(col_end(lines[3]), col_end(lines[4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn count_formats_thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(11_200_000), "11,200,000");
+    }
+
+    #[test]
+    fn cdf_series_emits_points() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let s = cdf_series("delays", &e, 10);
+        assert!(s.starts_with("# cdf: delays (n=100)"));
+        assert_eq!(s.lines().count(), 11);
+    }
+
+    #[test]
+    fn cdf_strip_handles_empty() {
+        let s = cdf_strip("nothing", &Ecdf::new(vec![]), "ms");
+        assert!(s.contains("empty"));
+    }
+}

@@ -1,0 +1,66 @@
+//! RFC 1034/1035 DNS wire format.
+//!
+//! This crate implements the subset of the DNS protocol needed by a passive
+//! network monitor and a traffic simulator:
+//!
+//! * [`Name`] — domain names with the RFC 1035 length limits, case-insensitive
+//!   comparison, and wire encoding/decoding including message compression
+//!   pointers (§4.1.4).
+//! * [`Message`] / [`Header`] / [`Question`] / [`Record`] — full message
+//!   encode and decode for the common record types (see [`RData`]).
+//! * [`tcp_frame`] — the 2-byte length prefix used for DNS over TCP (§4.2.2).
+//!
+//! The codec is strict on decode (malformed packets return [`WireError`]
+//! rather than panicking — a passive monitor must survive arbitrary input)
+//! and canonical on encode (names are compressed against earlier
+//! occurrences, as real resolvers do).
+//!
+//! # Example
+//!
+//! ```
+//! use dns_wire::{Message, Name, Record, RrType};
+//! use std::net::Ipv4Addr;
+//!
+//! let q = Message::query(0x1234, Name::parse("www.example.com").unwrap(), RrType::A);
+//! let wire = q.encode();
+//! let back = Message::decode(&wire).unwrap();
+//! assert_eq!(back.questions[0].name.to_string(), "www.example.com");
+//!
+//! let mut resp = back.answer_template();
+//! resp.answers.push(Record::a(
+//!     Name::parse("www.example.com").unwrap(),
+//!     300,
+//!     Ipv4Addr::new(93, 184, 216, 34),
+//! ));
+//! let wire = resp.encode();
+//! assert!(wire.len() < 512);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod header;
+mod message;
+mod name;
+mod question;
+mod rdata;
+mod record;
+pub mod tcp_frame;
+
+pub use error::WireError;
+pub use header::{Flags, Header, Opcode, Rcode};
+pub use message::Message;
+pub use name::Name;
+pub use question::Question;
+pub use rdata::{RData, SoaData, SrvData};
+pub use record::{Record, RrClass, RrType};
+
+/// Maximum length of a DNS message carried over UDP without EDNS (RFC 1035 §2.3.4).
+pub const MAX_UDP_PAYLOAD: usize = 512;
+
+/// Conventional DNS server port.
+pub const DNS_PORT: u16 = 53;
+
+/// DNS-over-TLS port (RFC 7858). The monitor checks that no traffic uses it.
+pub const DOT_PORT: u16 = 853;

@@ -1,0 +1,312 @@
+use crate::header::{Flags, Header, Rcode};
+use crate::question::Question;
+use crate::record::Record;
+use crate::{Name, RrType, WireError};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A complete DNS message: header plus the four record sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// Header flag bits.
+    pub flags: Flags,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a standard recursive query for `name`/`rtype`.
+    pub fn query(id: u16, name: Name, rtype: RrType) -> Message {
+        Message {
+            id,
+            flags: Flags::query(),
+            questions: vec![Question::new(name, rtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Start a response to this query: same id and question, response
+    /// flags, empty record sections for the caller to fill.
+    pub fn answer_template(&self) -> Message {
+        Message {
+            id: self.id,
+            flags: Flags::response(Rcode::NoError),
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build a negative (NXDOMAIN) response to this query, carrying the
+    /// zone's SOA in the authority section as RFC 2308 negative caching
+    /// requires — the SOA's MINIMUM bounds how long the non-existence may
+    /// be cached.
+    pub fn nxdomain_response(&self, zone: Name, soa: crate::SoaData) -> Message {
+        let mut m = self.answer_template();
+        m.flags.rcode = Rcode::NxDomain;
+        let negative_ttl = soa.minimum;
+        m.authorities.push(Record {
+            name: zone,
+            class: crate::RrClass::In,
+            ttl: negative_ttl,
+            rdata: crate::RData::Soa(soa),
+        });
+        m
+    }
+
+    /// True when `self` is a plausible response to `query`: response bit
+    /// set, matching transaction id, and a matching first question —
+    /// the checks a stub resolver applies before accepting an answer.
+    pub fn is_response_to(&self, query: &Message) -> bool {
+        self.flags.qr
+            && !query.flags.qr
+            && self.id == query.id
+            && match (self.questions.first(), query.questions.first()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+    }
+
+    /// All IPv4 addresses in the answer section (following the convention
+    /// that CNAME chains terminate in A records within the same response).
+    pub fn answer_ipv4(&self) -> Vec<Ipv4Addr> {
+        self.answers.iter().filter_map(|r| r.rdata.as_ipv4()).collect()
+    }
+
+    /// The first question's name, if any — what passive monitors log as the
+    /// query string.
+    pub fn query_name(&self) -> Option<&Name> {
+        self.questions.first().map(|q| &q.name)
+    }
+
+    /// Minimum TTL across answer records, or `None` for an empty answer
+    /// section. This is the effective lifetime of the response as a unit.
+    pub fn min_answer_ttl(&self) -> Option<u32> {
+        self.answers.iter().map(|r| r.ttl).min()
+    }
+
+    /// Encode to wire format with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        Header {
+            id: self.id,
+            flags: self.flags,
+            qdcount: self.questions.len() as u16,
+            ancount: self.answers.len() as u16,
+            nscount: self.authorities.len() as u16,
+            arcount: self.additionals.len() as u16,
+        }
+        .encode(&mut out);
+        let mut comp: HashMap<Name, usize> = HashMap::new();
+        for q in &self.questions {
+            q.encode(&mut out, &mut comp);
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            r.encode(&mut out, &mut comp);
+        }
+        out
+    }
+
+    /// Decode a message from wire format.
+    ///
+    /// Trailing bytes after the records promised by the header are ignored
+    /// (they occur in the wild, e.g. TSIG-stripped messages); short
+    /// sections are an error.
+    pub fn decode(msg: &[u8]) -> Result<Message, WireError> {
+        let header = Header::decode(msg)?;
+        let mut pos = crate::header::HEADER_LEN;
+        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        for _ in 0..header.qdcount {
+            questions.push(
+                Question::decode(msg, &mut pos)
+                    .map_err(|_| WireError::CountMismatch { section: "question" })?,
+            );
+        }
+        let mut decode_section = |count: u16, section: &'static str| -> Result<Vec<Record>, WireError> {
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                records.push(Record::decode(msg, &mut pos).map_err(|e| match e {
+                    WireError::Truncated { .. } => WireError::CountMismatch { section },
+                    other => other,
+                })?);
+            }
+            Ok(records)
+        };
+        let answers = decode_section(header.ancount, "answer")?;
+        let authorities = decode_section(header.nscount, "authority")?;
+        let additionals = decode_section(header.arcount, "additional")?;
+        Ok(Message {
+            id: header.id,
+            flags: header.flags,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+
+    fn sample_response() -> Message {
+        let q = Message::query(7, Name::parse("www.example.com").unwrap(), RrType::A);
+        let mut m = q.answer_template();
+        m.answers.push(Record::cname(
+            Name::parse("www.example.com").unwrap(),
+            3600,
+            Name::parse("edge.cdn.example.net").unwrap(),
+        ));
+        m.answers.push(Record::a(
+            Name::parse("edge.cdn.example.net").unwrap(),
+            30,
+            Ipv4Addr::new(203, 0, 113, 7),
+        ));
+        m.authorities.push(Record {
+            name: Name::parse("cdn.example.net").unwrap(),
+            class: crate::RrClass::In,
+            ttl: 86400,
+            rdata: RData::Ns(Name::parse("ns1.cdn.example.net").unwrap()),
+        });
+        m.additionals.push(Record::a(
+            Name::parse("ns1.cdn.example.net").unwrap(),
+            86400,
+            Ipv4Addr::new(198, 51, 100, 53),
+        ));
+        m
+    }
+
+    #[test]
+    fn full_message_round_trip() {
+        let m = sample_response();
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn compression_shrinks_message() {
+        let m = sample_response();
+        let compressed = m.encode();
+        // Rough check: shared example.net suffixes must compress.
+        let uncompressed_len: usize = 12
+            + m.questions.iter().map(|q| q.name.wire_len() + 4).sum::<usize>()
+            + m.answers
+                .iter()
+                .chain(&m.authorities)
+                .chain(&m.additionals)
+                .map(|r| r.name.wire_len() + 10 + 64)
+                .sum::<usize>();
+        assert!(compressed.len() < uncompressed_len);
+    }
+
+    #[test]
+    fn query_helpers() {
+        let m = sample_response();
+        assert_eq!(m.query_name().unwrap().to_string(), "www.example.com");
+        assert_eq!(m.answer_ipv4(), vec![Ipv4Addr::new(203, 0, 113, 7)]);
+        assert_eq!(m.min_answer_ttl(), Some(30));
+        assert_eq!(Message::query(1, Name::root(), RrType::A).min_answer_ttl(), None);
+    }
+
+    #[test]
+    fn header_counts_must_match_body() {
+        let m = sample_response();
+        let mut wire = m.encode();
+        // Claim one more answer than present.
+        wire[7] += 1;
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(WireError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_tolerated() {
+        let m = sample_response();
+        let mut wire = m.encode();
+        wire.extend_from_slice(&[0xDE, 0xAD]);
+        assert_eq!(Message::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_message_decodes() {
+        let m = Message {
+            id: 0,
+            flags: Flags::query(),
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn nxdomain_response_carries_soa() {
+        let q = Message::query(9, Name::parse("missing.example.com").unwrap(), RrType::A);
+        let soa = crate::SoaData {
+            mname: Name::parse("ns1.example.com").unwrap(),
+            rname: Name::parse("hostmaster.example.com").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        };
+        let resp = q.nxdomain_response(Name::parse("example.com").unwrap(), soa);
+        assert_eq!(resp.flags.rcode, Rcode::NxDomain);
+        assert!(resp.answers.is_empty());
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(resp.authorities[0].ttl, 300, "negative ttl = SOA minimum");
+        // Round-trips on the wire.
+        let back = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.is_response_to(&q));
+    }
+
+    #[test]
+    fn is_response_to_rejects_mismatches() {
+        let q = Message::query(7, Name::parse("a.example.com").unwrap(), RrType::A);
+        let mut good = q.answer_template();
+        assert!(good.is_response_to(&q));
+
+        let mut wrong_id = good.clone();
+        wrong_id.id = 8;
+        assert!(!wrong_id.is_response_to(&q));
+
+        let mut wrong_q = good.clone();
+        wrong_q.questions[0].name = Name::parse("b.example.com").unwrap();
+        assert!(!wrong_q.is_response_to(&q));
+
+        good.flags.qr = false; // not a response at all
+        assert!(!good.is_response_to(&q));
+        let q2 = {
+            let mut m = q.clone();
+            m.flags.qr = true; // "query" that is actually a response
+            m
+        };
+        assert!(!q.answer_template().is_response_to(&q2));
+    }
+
+    #[test]
+    fn garbage_rejected_not_panic() {
+        for len in 0..64 {
+            let buf: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let _ = Message::decode(&buf); // must not panic
+        }
+    }
+}

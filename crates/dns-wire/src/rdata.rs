@@ -1,0 +1,310 @@
+use crate::record::RrType;
+use crate::{Name, WireError};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// SOA record data (RFC 1035 §3.3.13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaData {
+    /// Primary nameserver for the zone.
+    pub mname: Name,
+    /// Mailbox of the person responsible for the zone.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry limit, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// SRV record data (RFC 2782).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrvData {
+    /// Selection priority (lower preferred).
+    pub priority: u16,
+    /// Selection weight among equal priorities.
+    pub weight: u16,
+    /// Service port.
+    pub port: u16,
+    /// Target host.
+    pub target: Name,
+}
+
+/// Typed record data for the supported record types.
+///
+/// Types the codec does not interpret are preserved as raw bytes in
+/// [`RData::Unknown`], so round-tripping a message never loses data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Canonical-name alias.
+    Cname(Name),
+    /// Delegation to a nameserver.
+    Ns(Name),
+    /// Reverse-mapping pointer.
+    Ptr(Name),
+    /// Mail exchanger: preference and host.
+    Mx(u16, Name),
+    /// Text strings (each at most 255 octets on the wire).
+    Txt(Vec<Vec<u8>>),
+    /// Start of authority.
+    Soa(SoaData),
+    /// Service locator.
+    Srv(SrvData),
+    /// EDNS(0) pseudo-record payload, kept opaque.
+    Opt(Vec<u8>),
+    /// Any other type: numeric type code plus raw RDATA bytes.
+    Unknown(u16, Vec<u8>),
+}
+
+impl RData {
+    /// The TYPE code this data encodes as.
+    pub fn rtype(&self) -> RrType {
+        match self {
+            RData::A(_) => RrType::A,
+            RData::Aaaa(_) => RrType::Aaaa,
+            RData::Cname(_) => RrType::Cname,
+            RData::Ns(_) => RrType::Ns,
+            RData::Ptr(_) => RrType::Ptr,
+            RData::Mx(..) => RrType::Mx,
+            RData::Txt(_) => RrType::Txt,
+            RData::Soa(_) => RrType::Soa,
+            RData::Srv(_) => RrType::Srv,
+            RData::Opt(_) => RrType::Opt,
+            RData::Unknown(t, _) => RrType::from_u16(*t),
+        }
+    }
+
+    /// The IPv4 address if this is an A record.
+    pub fn as_ipv4(&self) -> Option<Ipv4Addr> {
+        match self {
+            RData::A(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Encode RDATA (without the RDLENGTH prefix) appending to `out`.
+    ///
+    /// Names inside NS/CNAME/PTR/MX/SOA/SRV participate in compression,
+    /// matching common server behaviour.
+    pub fn encode(&self, out: &mut Vec<u8>, compressor: &mut HashMap<Name, usize>) {
+        match self {
+            RData::A(a) => out.extend_from_slice(&a.octets()),
+            RData::Aaaa(a) => out.extend_from_slice(&a.octets()),
+            RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => n.encode_compressed(out, compressor),
+            RData::Mx(pref, n) => {
+                out.extend_from_slice(&pref.to_be_bytes());
+                n.encode_compressed(out, compressor);
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    debug_assert!(s.len() <= 255);
+                    out.push(s.len() as u8);
+                    out.extend_from_slice(s);
+                }
+            }
+            RData::Soa(soa) => {
+                soa.mname.encode_compressed(out, compressor);
+                soa.rname.encode_compressed(out, compressor);
+                for v in [soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum] {
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+            }
+            RData::Srv(srv) => {
+                out.extend_from_slice(&srv.priority.to_be_bytes());
+                out.extend_from_slice(&srv.weight.to_be_bytes());
+                out.extend_from_slice(&srv.port.to_be_bytes());
+                // RFC 2782: the SRV target must not be compressed.
+                srv.target.encode_uncompressed(out);
+            }
+            RData::Opt(raw) | RData::Unknown(_, raw) => out.extend_from_slice(raw),
+        }
+    }
+
+    /// Decode `rdlen` bytes of RDATA at `start` within the full message
+    /// `msg` (the full message is required because RDATA names may contain
+    /// compression pointers into earlier sections).
+    pub fn decode(msg: &[u8], start: usize, rdlen: usize, rtype: RrType) -> Result<RData, WireError> {
+        let end = start + rdlen;
+        let raw = &msg[start..end];
+        let exact = |want: usize| -> Result<(), WireError> {
+            if rdlen != want {
+                Err(WireError::RdataLengthMismatch { declared: rdlen, actual: want })
+            } else {
+                Ok(())
+            }
+        };
+        match rtype {
+            RrType::A => {
+                exact(4)?;
+                Ok(RData::A(Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3])))
+            }
+            RrType::Aaaa => {
+                exact(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(raw);
+                Ok(RData::Aaaa(Ipv6Addr::from(o)))
+            }
+            RrType::Cname | RrType::Ns | RrType::Ptr => {
+                let mut pos = start;
+                let n = Name::decode(msg, &mut pos)?;
+                if pos != end {
+                    return Err(WireError::RdataLengthMismatch { declared: rdlen, actual: pos - start });
+                }
+                Ok(match rtype {
+                    RrType::Cname => RData::Cname(n),
+                    RrType::Ns => RData::Ns(n),
+                    _ => RData::Ptr(n),
+                })
+            }
+            RrType::Mx => {
+                if rdlen < 3 {
+                    return Err(WireError::Truncated { context: "MX rdata" });
+                }
+                let pref = u16::from_be_bytes([raw[0], raw[1]]);
+                let mut pos = start + 2;
+                let n = Name::decode(msg, &mut pos)?;
+                if pos != end {
+                    return Err(WireError::RdataLengthMismatch { declared: rdlen, actual: pos - start });
+                }
+                Ok(RData::Mx(pref, n))
+            }
+            RrType::Txt => {
+                let mut strings = Vec::new();
+                let mut i = 0usize;
+                while i < raw.len() {
+                    let l = raw[i] as usize;
+                    i += 1;
+                    let s = raw
+                        .get(i..i + l)
+                        .ok_or(WireError::Truncated { context: "TXT string" })?;
+                    strings.push(s.to_vec());
+                    i += l;
+                }
+                Ok(RData::Txt(strings))
+            }
+            RrType::Soa => {
+                let mut pos = start;
+                let mname = Name::decode(msg, &mut pos)?;
+                let rname = Name::decode(msg, &mut pos)?;
+                let fixed = msg
+                    .get(pos..pos + 20)
+                    .ok_or(WireError::Truncated { context: "SOA counters" })?;
+                let rd = |i: usize| u32::from_be_bytes([fixed[i], fixed[i + 1], fixed[i + 2], fixed[i + 3]]);
+                pos += 20;
+                if pos != end {
+                    return Err(WireError::RdataLengthMismatch { declared: rdlen, actual: pos - start });
+                }
+                Ok(RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial: rd(0),
+                    refresh: rd(4),
+                    retry: rd(8),
+                    expire: rd(12),
+                    minimum: rd(16),
+                }))
+            }
+            RrType::Srv => {
+                if rdlen < 7 {
+                    return Err(WireError::Truncated { context: "SRV rdata" });
+                }
+                let mut pos = start + 6;
+                let target = Name::decode(msg, &mut pos)?;
+                if pos != end {
+                    return Err(WireError::RdataLengthMismatch { declared: rdlen, actual: pos - start });
+                }
+                Ok(RData::Srv(SrvData {
+                    priority: u16::from_be_bytes([raw[0], raw[1]]),
+                    weight: u16::from_be_bytes([raw[2], raw[3]]),
+                    port: u16::from_be_bytes([raw[4], raw[5]]),
+                    target,
+                }))
+            }
+            RrType::Opt => Ok(RData::Opt(raw.to_vec())),
+            other => Ok(RData::Unknown(other.to_u16(), raw.to_vec())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rd: RData) {
+        let mut buf = Vec::new();
+        let mut comp = HashMap::new();
+        let rtype = rd.rtype();
+        rd.encode(&mut buf, &mut comp);
+        let back = RData::decode(&buf, 0, buf.len(), rtype).unwrap();
+        assert_eq!(back, rd);
+    }
+
+    #[test]
+    fn round_trip_all_types() {
+        round_trip(RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        round_trip(RData::Aaaa("2001:db8::1".parse().unwrap()));
+        round_trip(RData::Cname(Name::parse("alias.example.com").unwrap()));
+        round_trip(RData::Ns(Name::parse("ns1.example.com").unwrap()));
+        round_trip(RData::Ptr(Name::parse("host.example.com").unwrap()));
+        round_trip(RData::Mx(10, Name::parse("mx.example.com").unwrap()));
+        round_trip(RData::Txt(vec![b"v=spf1 -all".to_vec(), b"second".to_vec()]));
+        round_trip(RData::Soa(SoaData {
+            mname: Name::parse("ns1.example.com").unwrap(),
+            rname: Name::parse("hostmaster.example.com").unwrap(),
+            serial: 2019020601,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }));
+        round_trip(RData::Srv(SrvData {
+            priority: 0,
+            weight: 5,
+            port: 5060,
+            target: Name::parse("sip.example.com").unwrap(),
+        }));
+        round_trip(RData::Opt(vec![0, 1, 2, 3]));
+        round_trip(RData::Unknown(4711, vec![9, 9, 9]));
+    }
+
+    #[test]
+    fn a_with_wrong_length_rejected() {
+        let buf = [1, 2, 3];
+        assert!(matches!(
+            RData::decode(&buf, 0, 3, RrType::A),
+            Err(WireError::RdataLengthMismatch { declared: 3, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn txt_with_truncated_string_rejected() {
+        let buf = [5, b'a', b'b'];
+        assert!(RData::decode(&buf, 0, 3, RrType::Txt).is_err());
+    }
+
+    #[test]
+    fn cname_with_trailing_garbage_rejected() {
+        let mut buf = Vec::new();
+        Name::parse("a.b").unwrap().encode_uncompressed(&mut buf);
+        buf.push(0xFF);
+        assert!(RData::decode(&buf, 0, buf.len(), RrType::Cname).is_err());
+    }
+
+    #[test]
+    fn as_ipv4() {
+        assert_eq!(
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)).as_ipv4(),
+            Some(Ipv4Addr::new(1, 2, 3, 4))
+        );
+        assert_eq!(RData::Txt(vec![]).as_ipv4(), None);
+    }
+}

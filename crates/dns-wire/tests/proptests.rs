@@ -1,0 +1,144 @@
+//! Property-based tests for the DNS wire codec.
+
+use dns_wire::{Flags, Message, Name, RData, Record, RrClass, RrType, SoaData, SrvData};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,20}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..6).prop_map(|labels| {
+        let s = labels.join(".");
+        Name::parse(&s).unwrap()
+    })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..4)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name())
+            .prop_map(|(priority, weight, port, target)| RData::Srv(SrvData { priority, weight, port, target })),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|raw| RData::Unknown(4242, raw)),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        class: RrClass::In,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(arb_name(), 0..3),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(id, flag_bits, qnames, answers, authorities, additionals)| Message {
+            id,
+            flags: Flags::from_u16(flag_bits & !0x0070), // clear reserved Z bits
+            questions: qnames
+                .into_iter()
+                .map(|n| dns_wire::Question::new(n, RrType::A))
+                .collect(),
+            answers,
+            authorities,
+            additionals,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode is the identity on well-formed messages.
+    #[test]
+    fn message_round_trips(m in arb_message()) {
+        let wire = m.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Decoding a corrupted valid message never panics (and often errors).
+    #[test]
+    fn corrupted_message_never_panics(
+        m in arb_message(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut wire = m.encode();
+        if wire.is_empty() { return Ok(()); }
+        for (pos, val) in flips {
+            let i = pos as usize % wire.len();
+            wire[i] ^= val;
+        }
+        let _ = Message::decode(&wire);
+    }
+
+    /// Name parse/display round trip; display is lower-case.
+    #[test]
+    fn name_round_trips(n in arb_name()) {
+        let s = n.to_string();
+        let reparsed = Name::parse(&s).unwrap();
+        prop_assert_eq!(&reparsed, &n);
+        prop_assert_eq!(s.to_ascii_lowercase(), s);
+    }
+
+    /// Compression never changes decoded content and never grows the
+    /// message beyond its uncompressed size.
+    #[test]
+    fn compression_is_lossless_and_never_larger(names in proptest::collection::vec(arb_name(), 1..8)) {
+        let mut compressed = Vec::new();
+        let mut comp = std::collections::HashMap::new();
+        let mut uncompressed = Vec::new();
+        for n in &names {
+            n.encode_compressed(&mut compressed, &mut comp);
+            n.encode_uncompressed(&mut uncompressed);
+        }
+        prop_assert!(compressed.len() <= uncompressed.len());
+        let mut pos = 0;
+        for n in &names {
+            let d = Name::decode(&compressed, &mut pos).unwrap();
+            prop_assert_eq!(&d, n);
+        }
+        prop_assert_eq!(pos, compressed.len());
+    }
+
+    /// TCP framing round trips over concatenated messages.
+    #[test]
+    fn tcp_framing_round_trips(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 1..5)) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend(dns_wire::tcp_frame::frame(p));
+        }
+        let got = dns_wire::tcp_frame::deframe_all(&stream).unwrap();
+        prop_assert_eq!(got.len(), payloads.len());
+        for (g, p) in got.iter().zip(&payloads) {
+            prop_assert_eq!(*g, &p[..]);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced while parsing captured frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PktError {
+    /// Fewer captured bytes than the structure requires.
+    Truncated {
+        /// What was being parsed.
+        layer: &'static str,
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// EtherType we do not parse (e.g. ARP, IPv6); carries the numeric value.
+    UnsupportedEtherType(u16),
+    /// IP version field was not 4.
+    NotIpv4(u8),
+    /// IPv4 header length field below the 20-byte minimum.
+    BadIhl(u8),
+    /// IPv4 total-length field smaller than the header itself.
+    BadTotalLength(u16),
+    /// Transport protocol we do not parse; carries the protocol number.
+    UnsupportedProtocol(u8),
+    /// TCP data-offset field below the 5-word minimum.
+    BadDataOffset(u8),
+    /// A verified checksum did not match.
+    BadChecksum {
+        /// Which layer's checksum failed.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for PktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PktError::Truncated { layer, need, have } => {
+                write!(f, "truncated {layer}: need {need} bytes, have {have}")
+            }
+            PktError::UnsupportedEtherType(v) => write!(f, "unsupported ethertype {v:#06x}"),
+            PktError::NotIpv4(v) => write!(f, "IP version {v} is not 4"),
+            PktError::BadIhl(v) => write!(f, "IPv4 IHL {v} below minimum"),
+            PktError::BadTotalLength(v) => write!(f, "IPv4 total length {v} below header length"),
+            PktError::UnsupportedProtocol(v) => write!(f, "unsupported IP protocol {v}"),
+            PktError::BadDataOffset(v) => write!(f, "TCP data offset {v} below minimum"),
+            PktError::BadChecksum { layer } => write!(f, "{layer} checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PktError {}

@@ -1,0 +1,496 @@
+//! Reader and writer for the classic libpcap capture file format.
+//!
+//! Supports both byte orders and both timestamp precisions (microsecond
+//! magic `0xA1B2C3D4`, nanosecond magic `0xA1B23C4D`), Ethernet link type,
+//! and snaplen truncation on write — everything needed to serialise a
+//! simulated capture and read it back as a production monitor would.
+//!
+//! The format is the original fixed 24-byte global header followed by
+//! 16-byte per-packet record headers; see the Wireshark wiki's
+//! "Development/LibpcapFileFormat" page.
+//!
+//! # Example
+//!
+//! ```
+//! use pcapio::{PcapWriter, PcapReader, TsPrecision};
+//!
+//! let mut buf = Vec::new();
+//! let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+//! w.write_packet(1_549_497_600_000_000_123, b"frame bytes", None).unwrap();
+//! drop(w);
+//!
+//! let mut r = PcapReader::new(&buf[..]).unwrap();
+//! let rec = r.next_packet().unwrap().unwrap();
+//! assert_eq!(rec.ts_nanos, 1_549_497_600_000_000_123);
+//! assert_eq!(rec.data, b"frame bytes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic number for microsecond-precision captures.
+pub const MAGIC_MICRO: u32 = 0xA1B2_C3D4;
+/// Magic number for nanosecond-precision captures.
+pub const MAGIC_NANO: u32 = 0xA1B2_3C4D;
+/// Link type for Ethernet frames.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Size of the global file header.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Size of each per-packet record header.
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// Timestamp precision of a capture file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsPrecision {
+    /// Microseconds (the common default).
+    Micro,
+    /// Nanoseconds.
+    Nano,
+}
+
+/// Errors from reading a capture file.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number was not a known pcap magic.
+    BadMagic(u32),
+    /// Unsupported major/minor version.
+    BadVersion(u16, u16),
+    /// A record claimed more captured bytes than its original length,
+    /// or exceeded the file's snaplen by an implausible margin.
+    BadRecord {
+        /// Captured length from the record header.
+        incl_len: u32,
+        /// Original length from the record header.
+        orig_len: u32,
+    },
+    /// File ended in the middle of a structure.
+    TruncatedFile,
+}
+
+impl fmt::Display for PcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "i/o error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "unknown pcap magic {m:#010x}"),
+            PcapError::BadVersion(maj, min) => write!(f, "unsupported pcap version {maj}.{min}"),
+            PcapError::BadRecord { incl_len, orig_len } => {
+                write!(f, "implausible record: incl_len {incl_len}, orig_len {orig_len}")
+            }
+            PcapError::TruncatedFile => write!(f, "capture file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+/// One captured packet as stored in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Timestamp in nanoseconds since the epoch (converted from the file's
+    /// native precision).
+    pub ts_nanos: u64,
+    /// Length the packet had on the wire.
+    pub orig_len: u32,
+    /// Bytes actually stored (at most snaplen).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+///
+/// Writes the global header on construction and one record per
+/// [`write_packet`](PcapWriter::write_packet) call, truncating stored bytes
+/// at the configured snaplen (the recorded `orig_len` is preserved).
+pub struct PcapWriter<W: Write> {
+    out: W,
+    snaplen: u32,
+    precision: TsPrecision,
+    packets_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer with the given snaplen and timestamp precision and
+    /// emit the global header. Always writes native little-endian captures
+    /// (the reader handles both orders).
+    pub fn new(mut out: W, snaplen: u32, precision: TsPrecision) -> io::Result<PcapWriter<W>> {
+        let magic = match precision {
+            TsPrecision::Micro => MAGIC_MICRO,
+            TsPrecision::Nano => MAGIC_NANO,
+        };
+        out.write_all(&magic.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&snaplen.to_le_bytes())?;
+        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter { out, snaplen, precision, packets_written: 0 })
+    }
+
+    /// Append one packet. `ts_nanos` is nanoseconds since the epoch;
+    /// `frame` holds the bytes available for storage; `orig_len` overrides
+    /// the on-wire length when the frame is already a partial view (pass
+    /// `None` when `frame` is the complete packet).
+    pub fn write_packet(&mut self, ts_nanos: u64, frame: &[u8], orig_len: Option<u32>) -> io::Result<()> {
+        let stored = frame.len().min(self.snaplen as usize);
+        let orig = orig_len.unwrap_or(frame.len() as u32);
+        debug_assert!(orig as usize >= frame.len());
+        let (secs, subsec) = match self.precision {
+            TsPrecision::Micro => (ts_nanos / 1_000_000_000, (ts_nanos % 1_000_000_000) / 1_000),
+            TsPrecision::Nano => (ts_nanos / 1_000_000_000, ts_nanos % 1_000_000_000),
+        };
+        self.out.write_all(&(secs as u32).to_le_bytes())?;
+        self.out.write_all(&(subsec as u32).to_le_bytes())?;
+        self.out.write_all(&(stored as u32).to_le_bytes())?;
+        self.out.write_all(&orig.to_le_bytes())?;
+        self.out.write_all(&frame[..stored])?;
+        self.packets_written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets_written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming pcap reader.
+pub struct PcapReader<R: Read> {
+    input: R,
+    swapped: bool,
+    precision: TsPrecision,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Read and validate the global header, auto-detecting byte order and
+    /// timestamp precision from the magic number.
+    pub fn new(mut input: R) -> Result<PcapReader<R>, PcapError> {
+        let mut header = [0u8; GLOBAL_HEADER_LEN];
+        input.read_exact(&mut header).map_err(|_| PcapError::TruncatedFile)?;
+        let magic_raw = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let (swapped, precision) = match magic_raw {
+            MAGIC_MICRO => (false, TsPrecision::Micro),
+            MAGIC_NANO => (false, TsPrecision::Nano),
+            m if m.swap_bytes() == MAGIC_MICRO => (true, TsPrecision::Micro),
+            m if m.swap_bytes() == MAGIC_NANO => (true, TsPrecision::Nano),
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        let rd16 = |i: usize| {
+            let v = u16::from_le_bytes([header[i], header[i + 1]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let rd32 = |i: usize| {
+            let v = u32::from_le_bytes([header[i], header[i + 1], header[i + 2], header[i + 3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let (major, minor) = (rd16(4), rd16(6));
+        if major != 2 {
+            return Err(PcapError::BadVersion(major, minor));
+        }
+        Ok(PcapReader {
+            input,
+            swapped,
+            precision,
+            snaplen: rd32(16),
+        })
+    }
+
+    /// The file's snaplen.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// The file's timestamp precision.
+    pub fn precision(&self) -> TsPrecision {
+        self.precision
+    }
+
+    /// Read the next record, or `Ok(None)` at a clean end of file.
+    pub fn next_packet(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        let mut rh = [0u8; RECORD_HEADER_LEN];
+        match self.input.read_exact(&mut rh) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let rd32 = |i: usize| {
+            let v = u32::from_le_bytes([rh[i], rh[i + 1], rh[i + 2], rh[i + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let secs = rd32(0) as u64;
+        let subsec = rd32(4) as u64;
+        let incl_len = rd32(8);
+        let orig_len = rd32(12);
+        if incl_len > orig_len || incl_len > self.snaplen.saturating_add(65535) {
+            return Err(PcapError::BadRecord { incl_len, orig_len });
+        }
+        let ts_nanos = match self.precision {
+            TsPrecision::Micro => secs * 1_000_000_000 + subsec * 1_000,
+            TsPrecision::Nano => secs * 1_000_000_000 + subsec,
+        };
+        let mut data = vec![0u8; incl_len as usize];
+        self.input.read_exact(&mut data).map_err(|_| PcapError::TruncatedFile)?;
+        Ok(Some(PcapRecord { ts_nanos, orig_len, data }))
+    }
+
+    /// Iterate over all remaining records.
+    pub fn records(self) -> Records<R> {
+        Records { reader: self }
+    }
+}
+
+/// Iterator adapter over a [`PcapReader`].
+pub struct Records<R: Read> {
+    reader: PcapReader<R>,
+}
+
+impl<R: Read> Iterator for Records<R> {
+    type Item = Result<PcapRecord, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_packet().transpose()
+    }
+}
+
+/// Merge two time-sorted captures into one (the `mergecap` operation):
+/// records are interleaved by timestamp, ties favouring the first input.
+/// The output uses nanosecond precision and the larger of the two
+/// snaplens. Inputs must themselves be time-sorted; out-of-order inputs
+/// produce an out-of-order output rather than an error (as mergecap does).
+pub fn merge<R1: Read, R2: Read, W: Write>(a: R1, b: R2, out: W) -> Result<u64, PcapError> {
+    let ra = PcapReader::new(a)?;
+    let rb = PcapReader::new(b)?;
+    let snaplen = ra.snaplen().max(rb.snaplen());
+    let mut w = PcapWriter::new(out, snaplen, TsPrecision::Nano)?;
+    let mut ia = ra.records();
+    let mut ib = rb.records();
+    let mut next_a = ia.next().transpose()?;
+    let mut next_b = ib.next().transpose()?;
+    loop {
+        let take_a = match (&next_a, &next_b) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(x), Some(y)) => x.ts_nanos <= y.ts_nanos,
+        };
+        let rec = if take_a {
+            std::mem::replace(&mut next_a, ia.next().transpose()?).unwrap()
+        } else {
+            std::mem::replace(&mut next_b, ib.next().transpose()?).unwrap()
+        };
+        w.write_packet(rec.ts_nanos, &rec.data, Some(rec.orig_len))?;
+    }
+    let n = w.packets_written();
+    w.into_inner()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_capture(precision: TsPrecision, snaplen: u32, frames: &[(&[u8], Option<u32>)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, snaplen, precision).unwrap();
+        for (i, (frame, orig)) in frames.iter().enumerate() {
+            w.write_packet(1_000_000_000 + i as u64 * 1_000, frame, *orig).unwrap();
+        }
+        assert_eq!(w.packets_written(), frames.len() as u64);
+        buf
+    }
+
+    #[test]
+    fn round_trip_nano() {
+        let buf = write_capture(TsPrecision::Nano, 65535, &[(b"abc", None), (b"defgh", None)]);
+        let r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.precision(), TsPrecision::Nano);
+        let recs: Vec<_> = r.records().map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].data, b"abc");
+        assert_eq!(recs[0].ts_nanos, 1_000_000_000);
+        assert_eq!(recs[1].ts_nanos, 1_000_001_000);
+    }
+
+    #[test]
+    fn micro_precision_rounds_down() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 65535, TsPrecision::Micro).unwrap();
+        w.write_packet(1_000_000_999, b"x", None).unwrap();
+        drop(w);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let rec = r.next_packet().unwrap().unwrap();
+        // 999 ns rounds down to 0 µs.
+        assert_eq!(rec.ts_nanos, 1_000_000_000);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_preserves_orig_len() {
+        let buf = write_capture(TsPrecision::Nano, 4, &[(b"0123456789", None)]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let rec = r.next_packet().unwrap().unwrap();
+        assert_eq!(rec.data, b"0123");
+        assert_eq!(rec.orig_len, 10);
+    }
+
+    #[test]
+    fn explicit_orig_len_for_virtual_payload() {
+        let buf = write_capture(TsPrecision::Nano, 96, &[(b"hdrs", Some(1500))]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let rec = r.next_packet().unwrap().unwrap();
+        assert_eq!(rec.data, b"hdrs");
+        assert_eq!(rec.orig_len, 1500);
+    }
+
+    #[test]
+    fn byte_swapped_capture_reads_back() {
+        // Hand-build a big-endian header + one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICRO.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&96u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&5u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&3u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&3u32.to_be_bytes()); // orig
+        buf.extend_from_slice(b"xyz");
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.snaplen(), 96);
+        let rec = r.next_packet().unwrap().unwrap();
+        assert_eq!(rec.ts_nanos, 7_000_005_000);
+        assert_eq!(rec.data, b"xyz");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; GLOBAL_HEADER_LEN];
+        assert!(matches!(PcapReader::new(&buf[..]), Err(PcapError::BadMagic(0))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = write_capture(TsPrecision::Micro, 96, &[]);
+        buf[4] = 9; // version major
+        assert!(matches!(PcapReader::new(&buf[..]), Err(PcapError::BadVersion(9, 4))));
+    }
+
+    #[test]
+    fn truncated_global_header_rejected() {
+        let buf = [0u8; 10];
+        assert!(matches!(PcapReader::new(&buf[..]), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn truncated_record_body_rejected() {
+        let mut buf = write_capture(TsPrecision::Nano, 96, &[(b"abcdef", None)]);
+        buf.truncate(buf.len() - 2);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn record_with_incl_exceeding_orig_rejected() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+        w.write_packet(0, b"abc", None).unwrap();
+        drop(w);
+        // Corrupt orig_len (last 4 bytes of the record header) to 1.
+        let off = GLOBAL_HEADER_LEN + 12;
+        buf[off..off + 4].copy_from_slice(&1u32.to_le_bytes());
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::BadRecord { .. })));
+    }
+
+    #[test]
+    fn empty_capture_yields_no_records() {
+        let buf = write_capture(TsPrecision::Micro, 96, &[]);
+        let r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.records().count(), 0);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let mk = |stamps: &[u64], tag: u8| {
+            let mut buf = Vec::new();
+            let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+            for ts in stamps {
+                w.write_packet(*ts, &[tag, *ts as u8], None).unwrap();
+            }
+            buf
+        };
+        let a = mk(&[10, 30, 50], 0xAA);
+        let b = mk(&[20, 30, 60, 70], 0xBB);
+        let mut merged = Vec::new();
+        let n = merge(&a[..], &b[..], &mut merged).unwrap();
+        assert_eq!(n, 7);
+        let recs: Vec<_> = PcapReader::new(&merged[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        let stamps: Vec<u64> = recs.iter().map(|r| r.ts_nanos).collect();
+        assert_eq!(stamps, vec![10, 20, 30, 30, 50, 60, 70]);
+        // The tie at 30 favours input A.
+        assert_eq!(recs[2].data[0], 0xAA);
+        assert_eq!(recs[3].data[0], 0xBB);
+    }
+
+    #[test]
+    fn merge_with_empty_capture_is_identity() {
+        let mut a = Vec::new();
+        let mut w = PcapWriter::new(&mut a, 96, TsPrecision::Nano).unwrap();
+        w.write_packet(5, b"x", None).unwrap();
+        drop(w);
+        let empty = {
+            let mut e = Vec::new();
+            PcapWriter::new(&mut e, 96, TsPrecision::Nano).unwrap();
+            e
+        };
+        let mut merged = Vec::new();
+        assert_eq!(merge(&a[..], &empty[..], &mut merged).unwrap(), 1);
+        let recs: Vec<_> = PcapReader::new(&merged[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        assert_eq!(recs[0].data, b"x");
+    }
+
+    #[test]
+    fn iterator_collects_all() {
+        let frames: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i; (i as usize % 32) + 1]).collect();
+        let refs: Vec<(&[u8], Option<u32>)> = frames.iter().map(|f| (f.as_slice(), None)).collect();
+        let buf = write_capture(TsPrecision::Nano, 65535, &refs);
+        let recs: Vec<_> = PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 100);
+        for (rec, f) in recs.iter().zip(&frames) {
+            assert_eq!(&rec.data, f);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The DNS transaction record — one query/response pair as a monitor logs it.
+
+use crate::time::{Duration, Timestamp};
+use dns_wire::{Rcode, RrType};
+use std::net::Ipv4Addr;
+
+/// Typed payload of one answer record, as retained by the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerData {
+    /// An A record's address — what connection pairing keys on.
+    Addr(Ipv4Addr),
+    /// A CNAME alias target (kept as presentation text).
+    Cname(String),
+    /// Any other record type, kept as its type's log name.
+    Other(String),
+}
+
+/// One record from a response's answer section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Record payload.
+    pub data: AnswerData,
+    /// Record TTL in seconds.
+    pub ttl: u32,
+}
+
+impl Answer {
+    /// Convenience constructor for an address answer.
+    pub fn addr(a: Ipv4Addr, ttl: u32) -> Answer {
+        Answer { data: AnswerData::Addr(a), ttl }
+    }
+
+    /// The address if this is an A answer.
+    pub fn as_addr(&self) -> Option<Ipv4Addr> {
+        match self.data {
+            AnswerData::Addr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A DNS transaction: one query matched with its response (if any).
+///
+/// Mirrors the fields of Bro's dns.log that the paper's analysis needs:
+/// timestamps, the client and resolver addresses, the query, and the full
+/// answer set with TTLs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsTransaction {
+    /// When the query left the client.
+    pub ts: Timestamp,
+    /// Client (stub resolver) address — the house-side endpoint.
+    pub client: Ipv4Addr,
+    /// Recursive resolver address the query was sent to.
+    pub resolver: Ipv4Addr,
+    /// DNS transaction id.
+    pub trans_id: u16,
+    /// Query name in presentation form (lower-cased).
+    pub query: String,
+    /// Query type.
+    pub qtype: RrType,
+    /// Response code; `None` when no response was observed.
+    pub rcode: Option<Rcode>,
+    /// Lookup duration (response time − query time); `None` when no
+    /// response was observed.
+    pub rtt: Option<Duration>,
+    /// Answer records from the response, in order.
+    pub answers: Vec<Answer>,
+}
+
+impl DnsTransaction {
+    /// When the response arrived — the instant the mapping became usable.
+    /// `None` for unanswered queries.
+    pub fn completed_at(&self) -> Option<Timestamp> {
+        self.rtt.map(|d| self.ts + d)
+    }
+
+    /// All IPv4 addresses in the answer set.
+    pub fn addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.answers.iter().filter_map(|a| a.as_addr())
+    }
+
+    /// The minimum TTL across address answers — the effective lifetime of
+    /// the mapping (CNAME chain TTLs cap it too, so take the overall min).
+    pub fn min_ttl(&self) -> Option<u32> {
+        self.answers.iter().map(|a| a.ttl).min()
+    }
+
+    /// The instant the mapping expires: completion + min TTL. `None` when
+    /// unanswered or answerless.
+    pub fn expires_at(&self) -> Option<Timestamp> {
+        match (self.completed_at(), self.min_ttl()) {
+            (Some(done), Some(ttl)) => Some(done + Duration::from_secs(ttl as u64)),
+            _ => None,
+        }
+    }
+
+    /// Whether the response carried at least one usable address.
+    pub fn has_addrs(&self) -> bool {
+        self.answers.iter().any(|a| a.as_addr().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn() -> DnsTransaction {
+        DnsTransaction {
+            ts: Timestamp::from_secs(100),
+            client: Ipv4Addr::new(10, 1, 1, 2),
+            resolver: Ipv4Addr::new(192, 0, 2, 53),
+            trans_id: 7,
+            query: "www.example.com".into(),
+            qtype: RrType::A,
+            rcode: Some(Rcode::NoError),
+            rtt: Some(Duration::from_millis(8)),
+            answers: vec![
+                Answer { data: AnswerData::Cname("edge.example.net".into()), ttl: 300 },
+                Answer::addr(Ipv4Addr::new(203, 0, 113, 7), 60),
+                Answer::addr(Ipv4Addr::new(203, 0, 113, 8), 60),
+            ],
+        }
+    }
+
+    #[test]
+    fn completion_and_expiry() {
+        let t = txn();
+        assert_eq!(t.completed_at().unwrap(), Timestamp(100_008_000_000));
+        assert_eq!(t.min_ttl(), Some(60));
+        assert_eq!(t.expires_at().unwrap(), Timestamp(160_008_000_000));
+    }
+
+    #[test]
+    fn addr_extraction() {
+        let t = txn();
+        let addrs: Vec<_> = t.addrs().collect();
+        assert_eq!(addrs.len(), 2);
+        assert!(t.has_addrs());
+    }
+
+    #[test]
+    fn unanswered_has_no_completion() {
+        let mut t = txn();
+        t.rtt = None;
+        t.rcode = None;
+        t.answers.clear();
+        assert_eq!(t.completed_at(), None);
+        assert_eq!(t.expires_at(), None);
+        assert!(!t.has_addrs());
+    }
+}

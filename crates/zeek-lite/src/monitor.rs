@@ -1,0 +1,613 @@
+//! The passive monitor: packets in, conn.log + dns.log out.
+
+use crate::dns::{Answer, AnswerData, DnsTransaction};
+use crate::time::{Duration, Timestamp};
+use crate::tracker::{ConnRecord, FlowTracker, PktMeta};
+use crate::types::Proto;
+use dns_wire::{Message, RData, RrType};
+use netpkt::{Packet, PktError, Transport};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::Ipv4Addr;
+
+/// Monitor tuning knobs. Defaults follow Bro's, which the paper relies on.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// UDP flow inactivity timeout (Bro default 60 s; the paper states it).
+    pub udp_timeout: Duration,
+    /// TCP inactivity timeout for flows that never terminate.
+    pub tcp_timeout: Duration,
+    /// How long an unanswered DNS query is held before being flushed.
+    pub dns_query_timeout: Duration,
+    /// Whether unanswered queries appear in the DNS log (with empty rtt).
+    pub emit_unanswered_dns: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            udp_timeout: Duration::from_secs(60),
+            tcp_timeout: Duration::from_secs(300),
+            dns_query_timeout: Duration::from_secs(30),
+            emit_unanswered_dns: true,
+        }
+    }
+}
+
+/// Counters the monitor keeps about the capture as a whole.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Frames handled.
+    pub packets: u64,
+    /// Wire bytes represented by those frames (pcap `orig_len` sum).
+    pub wire_bytes: u64,
+    /// Frames that were not IPv4.
+    pub non_ipv4: u64,
+    /// IPv4 packets that were neither TCP nor UDP.
+    pub non_udp_tcp: u64,
+    /// Frames that failed to parse.
+    pub parse_errors: u64,
+    /// Packets to/from the DNS-over-TLS port (853) — the paper's §5.1
+    /// encrypted-DNS presence check.
+    pub dot_port_packets: u64,
+    /// Successfully decoded DNS messages.
+    pub dns_messages: u64,
+    /// Port-53 payloads that failed DNS decoding.
+    pub dns_decode_errors: u64,
+}
+
+/// Everything a capture produced.
+#[derive(Debug, Clone, Default)]
+pub struct Logs {
+    /// Connection summaries, sorted by start time.
+    pub conns: Vec<ConnRecord>,
+    /// DNS transactions, sorted by query time.
+    pub dns: Vec<DnsTransaction>,
+    /// Whole-capture counters.
+    pub stats: MonitorStats,
+}
+
+impl Logs {
+    /// Application connections only: everything that is not DNS traffic
+    /// itself. The paper treats the DNS log and the connection log as
+    /// separate datasets; DNS flows must not appear in both.
+    pub fn app_conns(&self) -> impl Iterator<Item = &ConnRecord> {
+        self.conns.iter().filter(|c| !c.is_dns())
+    }
+
+    /// Merge another capture's logs (e.g. from sharded generation),
+    /// re-sorting both datasets by time.
+    pub fn merge(&mut self, other: Logs) {
+        self.conns.extend(other.conns);
+        self.dns.extend(other.dns);
+        let s = &mut self.stats;
+        let o = other.stats;
+        s.packets += o.packets;
+        s.wire_bytes += o.wire_bytes;
+        s.non_ipv4 += o.non_ipv4;
+        s.non_udp_tcp += o.non_udp_tcp;
+        s.parse_errors += o.parse_errors;
+        s.dot_port_packets += o.dot_port_packets;
+        s.dns_messages += o.dns_messages;
+        s.dns_decode_errors += o.dns_decode_errors;
+        self.sort();
+    }
+
+    /// Sort both logs by timestamp (stable, so equal stamps keep insertion
+    /// order).
+    pub fn sort(&mut self) {
+        self.conns.sort_by_key(|c| c.ts);
+        self.dns.sort_by_key(|d| d.ts);
+    }
+
+    /// Restrict both logs to records starting in `[from, to)`. Counters in
+    /// `stats` describe the original capture and are carried unchanged.
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> Logs {
+        Logs {
+            conns: self
+                .conns
+                .iter()
+                .filter(|c| c.ts >= from && c.ts < to)
+                .cloned()
+                .collect(),
+            dns: self
+                .dns
+                .iter()
+                .filter(|d| d.ts >= from && d.ts < to)
+                .cloned()
+                .collect(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Distinct originator (house) addresses, sorted — the monitored
+    /// population. Includes DNS clients so houses with only DNS traffic
+    /// in the window still appear.
+    pub fn houses(&self) -> Vec<Ipv4Addr> {
+        let mut set: Vec<Ipv4Addr> = self
+            .conns
+            .iter()
+            .map(|c| c.id.orig_addr)
+            .chain(self.dns.iter().map(|d| d.client))
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// Per-service totals over application connections:
+    /// `(service, connections, payload bytes)`, sorted by connection count
+    /// descending; connections with no recognised service appear as
+    /// `"other"`.
+    pub fn service_breakdown(&self) -> Vec<(String, usize, u64)> {
+        let mut acc: std::collections::HashMap<&str, (usize, u64)> = std::collections::HashMap::new();
+        for c in self.app_conns() {
+            let e = acc.entry(c.service.unwrap_or("other")).or_default();
+            e.0 += 1;
+            e.1 += c.total_bytes();
+        }
+        let mut out: Vec<(String, usize, u64)> = acc
+            .into_iter()
+            .map(|(s, (n, b))| (s.to_string(), n, b))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// First and last record timestamps, or `None` for empty logs.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let starts = [self.conns.first().map(|c| c.ts), self.dns.first().map(|d| d.ts)];
+        let ends = [self.conns.last().map(|c| c.ts), self.dns.last().map(|d| d.ts)];
+        let start = starts.iter().flatten().min().copied()?;
+        let end = ends.iter().flatten().max().copied()?;
+        Some((start, end))
+    }
+}
+
+#[derive(Hash, PartialEq, Eq, Clone)]
+struct DnsKey {
+    client: Ipv4Addr,
+    resolver: Ipv4Addr,
+    trans_id: u16,
+    query: String,
+    qtype: u16,
+}
+
+struct PendingQuery {
+    ts: Timestamp,
+    qtype: RrType,
+}
+
+/// The monitor itself. Feed frames with
+/// [`handle_frame`](Monitor::handle_frame), then call
+/// [`finish`](Monitor::finish).
+pub struct Monitor {
+    config: MonitorConfig,
+    tracker: FlowTracker,
+    pending_dns: HashMap<DnsKey, PendingQuery>,
+    dns_log: Vec<DnsTransaction>,
+    stats: MonitorStats,
+    last_dns_sweep: Timestamp,
+}
+
+impl Monitor {
+    /// Create a monitor with the given configuration.
+    pub fn new(config: MonitorConfig) -> Monitor {
+        Monitor {
+            tracker: FlowTracker::new(config.udp_timeout, config.tcp_timeout),
+            config,
+            pending_dns: HashMap::new(),
+            dns_log: Vec::new(),
+            stats: MonitorStats::default(),
+            last_dns_sweep: Timestamp::ZERO,
+        }
+    }
+
+    /// Process one captured frame. `captured` holds the stored bytes
+    /// (possibly snaplen-truncated); `orig_len` is the on-wire length.
+    pub fn handle_frame(&mut self, ts: Timestamp, captured: &[u8], orig_len: u32) {
+        self.stats.packets += 1;
+        self.stats.wire_bytes += orig_len as u64;
+        let pkt = match Packet::parse(captured, orig_len as usize) {
+            Ok(p) => p,
+            Err(PktError::UnsupportedEtherType(_)) => {
+                self.stats.non_ipv4 += 1;
+                return;
+            }
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                return;
+            }
+        };
+        let (proto, src_port, dst_port, tcp_flags, seq) = match &pkt.transport {
+            Transport::Udp(u) => (Proto::Udp, u.src_port, u.dst_port, None, None),
+            Transport::Tcp(t) => (Proto::Tcp, t.src_port, t.dst_port, Some(t.flags), Some(t.seq)),
+            Transport::Other(_) => {
+                self.stats.non_udp_tcp += 1;
+                return;
+            }
+        };
+        if src_port == dns_wire::DOT_PORT || dst_port == dns_wire::DOT_PORT {
+            self.stats.dot_port_packets += 1;
+        }
+        self.tracker.handle(PktMeta {
+            ts,
+            src: pkt.ip.src,
+            dst: pkt.ip.dst,
+            src_port,
+            dst_port,
+            proto,
+            tcp_flags,
+            seq,
+            payload_len: pkt.declared_payload as u64,
+        });
+        // DNS transaction extraction from UDP port-53 payloads.
+        if proto == Proto::Udp && (src_port == dns_wire::DNS_PORT || dst_port == dns_wire::DNS_PORT) {
+            self.handle_dns_payload(ts, pkt.ip.src, pkt.ip.dst, pkt.payload);
+        }
+        self.maybe_sweep_dns(ts);
+    }
+
+    fn handle_dns_payload(&mut self, ts: Timestamp, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        let msg = match Message::decode(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.dns_decode_errors += 1;
+                return;
+            }
+        };
+        self.stats.dns_messages += 1;
+        let Some(q) = msg.questions.first() else { return };
+        if !msg.flags.qr {
+            // Query: client -> resolver. First query wins (retransmits
+            // keep the original timestamp, matching Bro).
+            let key = DnsKey {
+                client: src,
+                resolver: dst,
+                trans_id: msg.id,
+                query: q.name.to_string(),
+                qtype: q.rtype.to_u16(),
+            };
+            self.pending_dns
+                .entry(key)
+                .or_insert(PendingQuery { ts, qtype: q.rtype });
+        } else {
+            // Response: resolver -> client.
+            let key = DnsKey {
+                client: dst,
+                resolver: src,
+                trans_id: msg.id,
+                query: q.name.to_string(),
+                qtype: q.rtype.to_u16(),
+            };
+            let Some(pending) = self.pending_dns.remove(&key) else {
+                // Response without an observed query (e.g. capture started
+                // mid-flight); skip rather than fabricate a timestamp.
+                return;
+            };
+            let answers = msg
+                .answers
+                .iter()
+                .map(|r| Answer {
+                    ttl: r.ttl,
+                    data: match &r.rdata {
+                        RData::A(a) => AnswerData::Addr(*a),
+                        RData::Cname(n) => AnswerData::Cname(n.to_string()),
+                        other => AnswerData::Other(other.rtype().log_name()),
+                    },
+                })
+                .collect();
+            self.dns_log.push(DnsTransaction {
+                ts: pending.ts,
+                client: dst,
+                resolver: src,
+                trans_id: msg.id,
+                query: key.query,
+                qtype: pending.qtype,
+                rcode: Some(msg.flags.rcode),
+                rtt: Some(ts.since(pending.ts)),
+                answers,
+            });
+        }
+    }
+
+    fn maybe_sweep_dns(&mut self, now: Timestamp) {
+        if now.since(self.last_dns_sweep) < Duration::from_secs(10) {
+            return;
+        }
+        self.last_dns_sweep = now;
+        let timeout = self.config.dns_query_timeout;
+        let expired: Vec<DnsKey> = self
+            .pending_dns
+            .iter()
+            .filter(|(_, p)| now.since(p.ts) >= timeout)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in expired {
+            let pending = self.pending_dns.remove(&key).unwrap();
+            if self.config.emit_unanswered_dns {
+                self.dns_log.push(unanswered(&key, &pending));
+            }
+        }
+    }
+
+    /// Drain connection records that have already completed, for streaming
+    /// consumers that do not want to hold the whole capture's logs at once.
+    /// DNS transactions are small and are only returned by
+    /// [`finish`](Monitor::finish).
+    pub fn drain_conns(&mut self) -> Vec<ConnRecord> {
+        self.tracker.drain_completed()
+    }
+
+    /// Number of flows currently being tracked.
+    pub fn active_flows(&self) -> usize {
+        self.tracker.active_flows()
+    }
+
+    /// Flush all state and return the logs, sorted by time.
+    pub fn finish(mut self) -> Logs {
+        if self.config.emit_unanswered_dns {
+            for (key, pending) in self.pending_dns.drain() {
+                self.dns_log.push(unanswered(&key, &pending));
+            }
+        }
+        let mut logs = Logs {
+            conns: self.tracker.finish(),
+            dns: self.dns_log,
+            stats: self.stats,
+        };
+        logs.sort();
+        logs
+    }
+
+    /// Convenience: run a whole pcap stream through a fresh monitor.
+    pub fn process_pcap<R: Read>(reader: R, config: MonitorConfig) -> Result<Logs, pcapio::PcapError> {
+        let pcap = pcapio::PcapReader::new(reader)?;
+        let mut monitor = Monitor::new(config);
+        for record in pcap.records() {
+            let record = record?;
+            monitor.handle_frame(Timestamp(record.ts_nanos), &record.data, record.orig_len);
+        }
+        Ok(monitor.finish())
+    }
+}
+
+fn unanswered(key: &DnsKey, pending: &PendingQuery) -> DnsTransaction {
+    DnsTransaction {
+        ts: pending.ts,
+        client: key.client,
+        resolver: key.resolver,
+        trans_id: key.trans_id,
+        query: key.query.clone(),
+        qtype: pending.qtype,
+        rcode: None,
+        rtt: None,
+        answers: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{Name, Record};
+    use netpkt::{Frame, MacAddr, TcpFlags, TcpHeader};
+
+    const HOUSE: Ipv4Addr = Ipv4Addr::new(10, 1, 1, 2);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 53);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 7);
+
+    fn feed(m: &mut Monitor, ts_ms: u64, f: &Frame) {
+        let bytes = f.encode();
+        m.handle_frame(Timestamp::from_millis(ts_ms), &bytes, f.wire_len() as u32);
+    }
+
+    fn dns_query(id: u16, name: &str) -> Frame {
+        let q = Message::query(id, Name::parse(name).unwrap(), RrType::A);
+        Frame::udp(MacAddr::LOCAL, MacAddr::UPSTREAM, HOUSE, RESOLVER, 54321, 53, &q.encode())
+    }
+
+    fn dns_response(id: u16, name: &str, addr: Ipv4Addr, ttl: u32) -> Frame {
+        let q = Message::query(id, Name::parse(name).unwrap(), RrType::A);
+        let mut resp = q.answer_template();
+        resp.answers.push(Record::a(Name::parse(name).unwrap(), ttl, addr));
+        Frame::udp(MacAddr::UPSTREAM, MacAddr::LOCAL, RESOLVER, HOUSE, 53, 54321, &resp.encode())
+    }
+
+    #[test]
+    fn dns_transaction_matched() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1000, &dns_query(7, "www.example.com"));
+        feed(&mut m, 1008, &dns_response(7, "www.example.com", SERVER, 300));
+        let logs = m.finish();
+        assert_eq!(logs.dns.len(), 1);
+        let t = &logs.dns[0];
+        assert_eq!(t.query, "www.example.com");
+        assert_eq!(t.rtt, Some(Duration::from_millis(8)));
+        assert_eq!(t.addrs().collect::<Vec<_>>(), vec![SERVER]);
+        assert_eq!(t.min_ttl(), Some(300));
+        assert_eq!(logs.stats.dns_messages, 2);
+        // The DNS flow also appears as a (dns-service) connection.
+        assert_eq!(logs.conns.len(), 1);
+        assert!(logs.conns[0].is_dns());
+        assert_eq!(logs.app_conns().count(), 0);
+    }
+
+    #[test]
+    fn unanswered_query_flushed_at_finish() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1000, &dns_query(9, "dead.example.com"));
+        let logs = m.finish();
+        assert_eq!(logs.dns.len(), 1);
+        assert_eq!(logs.dns[0].rtt, None);
+        assert_eq!(logs.dns[0].rcode, None);
+    }
+
+    #[test]
+    fn unanswered_query_can_be_suppressed() {
+        let mut m = Monitor::new(MonitorConfig {
+            emit_unanswered_dns: false,
+            ..MonitorConfig::default()
+        });
+        feed(&mut m, 1000, &dns_query(9, "dead.example.com"));
+        assert!(m.finish().dns.is_empty());
+    }
+
+    #[test]
+    fn retransmitted_query_keeps_first_timestamp() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1000, &dns_query(7, "www.example.com"));
+        feed(&mut m, 2000, &dns_query(7, "www.example.com"));
+        feed(&mut m, 2050, &dns_response(7, "www.example.com", SERVER, 300));
+        let logs = m.finish();
+        assert_eq!(logs.dns.len(), 1);
+        assert_eq!(logs.dns[0].ts, Timestamp::from_millis(1000));
+        assert_eq!(logs.dns[0].rtt, Some(Duration::from_millis(1050)));
+    }
+
+    #[test]
+    fn tcp_connection_produces_app_conn() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let syn = Frame::tcp(MacAddr::LOCAL, MacAddr::UPSTREAM, HOUSE, SERVER, TcpHeader::syn(49152, 443, 100), &[]);
+        let synack = Frame::tcp(
+            MacAddr::UPSTREAM,
+            MacAddr::LOCAL,
+            SERVER,
+            HOUSE,
+            TcpHeader { flags: TcpFlags::SYN_ACK, ..TcpHeader::syn(443, 49152, 900) },
+            &[],
+        );
+        let fin_o = Frame::tcp(
+            MacAddr::LOCAL,
+            MacAddr::UPSTREAM,
+            HOUSE,
+            SERVER,
+            TcpHeader::segment(49152, 443, 101 + 500, 901, TcpFlags::FIN_ACK),
+            &[],
+        );
+        let fin_r = Frame::tcp(
+            MacAddr::UPSTREAM,
+            MacAddr::LOCAL,
+            SERVER,
+            HOUSE,
+            TcpHeader::segment(443, 49152, 901 + 9000, 0, TcpFlags::FIN_ACK),
+            &[],
+        );
+        feed(&mut m, 0, &syn);
+        feed(&mut m, 20, &synack);
+        feed(&mut m, 500, &fin_o);
+        feed(&mut m, 520, &fin_r);
+        let logs = m.finish();
+        assert_eq!(logs.app_conns().count(), 1);
+        let c = logs.app_conns().next().unwrap();
+        assert_eq!(c.state, crate::ConnState::SF);
+        // Bytes recovered purely from sequence numbers.
+        assert_eq!(c.orig_bytes, 500);
+        assert_eq!(c.resp_bytes, 9000);
+        assert_eq!(c.service, Some("ssl"));
+    }
+
+    #[test]
+    fn garbage_on_port_53_counted_as_decode_error() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let junk = Frame::udp(MacAddr::LOCAL, MacAddr::UPSTREAM, HOUSE, RESOLVER, 50000, 53, b"not dns");
+        feed(&mut m, 0, &junk);
+        let logs = m.finish();
+        assert_eq!(logs.stats.dns_decode_errors, 1);
+        assert!(logs.dns.is_empty());
+    }
+
+    #[test]
+    fn dot_port_traffic_counted() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        let f = Frame::tcp(MacAddr::LOCAL, MacAddr::UPSTREAM, HOUSE, RESOLVER, TcpHeader::syn(50000, 853, 1), &[]);
+        feed(&mut m, 0, &f);
+        let logs = m.finish();
+        assert_eq!(logs.stats.dot_port_packets, 1);
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let mut m1 = Monitor::new(MonitorConfig::default());
+        feed(&mut m1, 5000, &dns_query(1, "b.example.com"));
+        feed(&mut m1, 5010, &dns_response(1, "b.example.com", SERVER, 60));
+        let mut logs1 = m1.finish();
+        let mut m2 = Monitor::new(MonitorConfig::default());
+        feed(&mut m2, 1000, &dns_query(2, "a.example.com"));
+        feed(&mut m2, 1010, &dns_response(2, "a.example.com", SERVER, 60));
+        let logs2 = m2.finish();
+        logs1.merge(logs2);
+        assert_eq!(logs1.dns.len(), 2);
+        assert_eq!(logs1.dns[0].query, "a.example.com");
+        assert_eq!(logs1.stats.dns_messages, 4);
+    }
+
+    #[test]
+    fn window_and_span_helpers() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1_000, &dns_query(1, "a.example.com"));
+        feed(&mut m, 1_010, &dns_response(1, "a.example.com", SERVER, 60));
+        feed(&mut m, 9_000, &dns_query(2, "b.example.com"));
+        feed(&mut m, 9_010, &dns_response(2, "b.example.com", SERVER, 60));
+        let logs = m.finish();
+        let (start, end) = logs.time_span().unwrap();
+        assert_eq!(start, Timestamp::from_millis(1_000));
+        assert!(end >= Timestamp::from_millis(9_000));
+        let early = logs.window(Timestamp::ZERO, Timestamp::from_millis(5_000));
+        assert_eq!(early.dns.len(), 1);
+        assert_eq!(early.dns[0].query, "a.example.com");
+        assert_eq!(logs.houses(), vec![HOUSE]);
+        assert_eq!(Logs::default().time_span(), None);
+    }
+
+    #[test]
+    fn service_breakdown_aggregates() {
+        use crate::tracker::ConnState;
+        use crate::types::{FiveTuple, Proto};
+        let mk = |uid: u64, port: u16, bytes: u64| ConnRecord {
+            uid,
+            ts: Timestamp::from_millis(uid),
+            id: FiveTuple {
+                orig_addr: HOUSE,
+                orig_port: 50_000,
+                resp_addr: SERVER,
+                resp_port: port,
+                proto: Proto::Tcp,
+            },
+            duration: Duration::from_millis(10),
+            orig_bytes: 0,
+            resp_bytes: bytes,
+            orig_pkts: 1,
+            resp_pkts: 1,
+            state: ConnState::SF,
+            history: String::new(),
+            service: crate::tracker::service_for_port(Proto::Tcp, port),
+        };
+        let logs = Logs {
+            conns: vec![mk(1, 443, 100), mk(2, 443, 200), mk(3, 80, 50), mk(4, 9999, 1), mk(5, 53, 7)],
+            dns: vec![],
+            stats: Default::default(),
+        };
+        let b = logs.service_breakdown();
+        // DNS flows are excluded; ssl (2 conns) leads.
+        assert_eq!(b[0], ("ssl".to_string(), 2, 300));
+        assert!(b.iter().any(|(s, n, _)| s == "http" && *n == 1));
+        assert!(b.iter().any(|(s, n, _)| s == "other" && *n == 1));
+        assert!(!b.iter().any(|(s, _, _)| s == "dns"));
+    }
+
+    #[test]
+    fn process_pcap_end_to_end() {
+        use pcapio::{PcapWriter, TsPrecision};
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, 65535, TsPrecision::Nano).unwrap();
+            let q = dns_query(3, "pcap.example.com");
+            let r = dns_response(3, "pcap.example.com", SERVER, 120);
+            w.write_packet(1_000_000_000, &q.encode(), None).unwrap();
+            w.write_packet(1_004_000_000, &r.encode(), None).unwrap();
+        }
+        let logs = Monitor::process_pcap(&buf[..], MonitorConfig::default()).unwrap();
+        assert_eq!(logs.dns.len(), 1);
+        assert_eq!(logs.dns[0].rtt, Some(Duration::from_millis(4)));
+    }
+}

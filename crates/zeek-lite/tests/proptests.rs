@@ -1,0 +1,175 @@
+//! Property tests for the monitor layer: TSV logs round-trip arbitrary
+//! records, the tracker's byte accounting is permutation-safe, and the
+//! monitor survives arbitrary input frames.
+
+use dns_wire::{Rcode, RrType};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use zeek_lite::{
+    logfmt, Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple,
+    Monitor, MonitorConfig, Proto, Timestamp,
+};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_state() -> impl Strategy<Value = ConnState> {
+    prop_oneof![
+        Just(ConnState::S0),
+        Just(ConnState::S1),
+        Just(ConnState::SF),
+        Just(ConnState::Rej),
+        Just(ConnState::RstO),
+        Just(ConnState::RstR),
+        Just(ConnState::Oth),
+    ]
+}
+
+fn arb_conn() -> impl Strategy<Value = ConnRecord> {
+    (
+        any::<u64>(),
+        0u64..u32::MAX as u64,
+        (arb_addr(), any::<u16>(), arb_addr(), any::<u16>(), any::<bool>()),
+        0u64..1u64 << 40,
+        0u64..1u64 << 40,
+        (0u64..1_000_000, 0u64..1_000_000),
+        arb_state(),
+        proptest::string::string_regex("[ShAaDdFfRr]{0,8}").unwrap(),
+    )
+        .prop_map(|(uid, ts_ms, (oa, op, ra, rp, tcp), ob, rb, (opk, rpk), state, history)| {
+            let proto = if tcp { Proto::Tcp } else { Proto::Udp };
+            ConnRecord {
+                uid,
+                ts: Timestamp::from_millis(ts_ms),
+                id: FiveTuple { orig_addr: oa, orig_port: op, resp_addr: ra, resp_port: rp, proto },
+                duration: Duration::from_millis(ts_ms % 100_000),
+                orig_bytes: ob,
+                resp_bytes: rb,
+                orig_pkts: opk,
+                resp_pkts: rpk,
+                state,
+                history,
+                service: zeek_lite_service(proto, rp),
+            }
+        })
+}
+
+// Mirror of the monitor's port map (the log reader re-derives service).
+fn zeek_lite_service(proto: Proto, port: u16) -> Option<&'static str> {
+    match (proto, port) {
+        (_, 53) => Some("dns"),
+        (_, 853) => Some("dot"),
+        (Proto::Tcp, 80) => Some("http"),
+        (Proto::Tcp, 443) => Some("ssl"),
+        (Proto::Udp, 443) => Some("quic"),
+        (Proto::Udp, 123) => Some("ntp"),
+        (Proto::Tcp, 25) | (Proto::Tcp, 465) | (Proto::Tcp, 587) => Some("smtp"),
+        (Proto::Tcp, 993) => Some("imap"),
+        (Proto::Udp, 5353) => Some("mdns"),
+        _ => None,
+    }
+}
+
+fn arb_answer() -> impl Strategy<Value = Answer> {
+    (
+        prop_oneof![
+            arb_addr().prop_map(AnswerData::Addr),
+            proptest::string::string_regex("[a-z0-9-]{1,12}(\\.[a-z0-9-]{1,12}){1,3}")
+                .unwrap()
+                .prop_map(AnswerData::Cname),
+            proptest::string::string_regex("[A-Z]{1,6}").unwrap().prop_map(AnswerData::Other),
+        ],
+        any::<u32>(),
+    )
+        .prop_map(|(data, ttl)| Answer { data, ttl })
+}
+
+fn arb_dns() -> impl Strategy<Value = DnsTransaction> {
+    (
+        0u64..u32::MAX as u64,
+        arb_addr(),
+        arb_addr(),
+        any::<u16>(),
+        proptest::string::string_regex("[a-z0-9_-]{1,16}(\\.[a-z0-9_-]{1,10}){0,3}").unwrap(),
+        proptest::option::of((0u64..60_000u64, 0u8..6)),
+        proptest::collection::vec(arb_answer(), 0..5),
+    )
+        .prop_map(|(ts_ms, client, resolver, trans_id, query, answered, answers)| {
+            let (rtt, rcode, answers) = match answered {
+                Some((rtt_us, rc)) => (
+                    Some(Duration::from_micros(rtt_us)),
+                    Some(Rcode::from_u8(rc)),
+                    answers,
+                ),
+                None => (None, None, Vec::new()),
+            };
+            DnsTransaction {
+                ts: Timestamp::from_millis(ts_ms),
+                client,
+                resolver,
+                trans_id,
+                query,
+                qtype: RrType::A,
+                rcode,
+                rtt,
+                answers,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// conn.log round-trips arbitrary records exactly.
+    #[test]
+    fn conn_log_round_trips(conns in proptest::collection::vec(arb_conn(), 0..30)) {
+        let mut buf = Vec::new();
+        logfmt::write_conn_log(&mut buf, &conns).unwrap();
+        let back = logfmt::read_conn_log(&buf[..]).unwrap();
+        prop_assert_eq!(back, conns);
+    }
+
+    /// dns.log round-trips arbitrary records exactly.
+    #[test]
+    fn dns_log_round_trips(txns in proptest::collection::vec(arb_dns(), 0..30)) {
+        let mut buf = Vec::new();
+        logfmt::write_dns_log(&mut buf, &txns).unwrap();
+        let back = logfmt::read_dns_log(&buf[..]).unwrap();
+        prop_assert_eq!(back, txns);
+    }
+
+    /// The log reader never panics on arbitrary text.
+    #[test]
+    fn log_reader_never_panics(text in "\\PC{0,400}") {
+        let _ = logfmt::read_conn_log(text.as_bytes());
+        let _ = logfmt::read_dns_log(text.as_bytes());
+    }
+
+    /// The monitor never panics on arbitrary frames.
+    #[test]
+    fn monitor_survives_fuzz_frames(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..120), 0..30)
+    ) {
+        let mut m = Monitor::new(MonitorConfig::default());
+        for (i, f) in frames.iter().enumerate() {
+            m.handle_frame(Timestamp::from_millis(i as u64), f, f.len().max(1) as u32);
+        }
+        let logs = m.finish();
+        prop_assert_eq!(logs.stats.packets as usize, frames.len());
+    }
+
+    /// Logs::window returns exactly the in-range records and merge+sort
+    /// is permutation-invariant on conn timestamps.
+    #[test]
+    fn window_selects_in_range(conns in proptest::collection::vec(arb_conn(), 0..40), cut_ms in 0u64..u32::MAX as u64) {
+        let mut logs = zeek_lite::Logs { conns, dns: vec![], stats: Default::default() };
+        logs.sort();
+        let cut = Timestamp::from_millis(cut_ms);
+        let early = logs.window(Timestamp::ZERO, cut);
+        let late = logs.window(cut, Timestamp(u64::MAX));
+        prop_assert_eq!(early.conns.len() + late.conns.len(), logs.conns.len());
+        prop_assert!(early.conns.iter().all(|c| c.ts < cut));
+        prop_assert!(late.conns.iter().all(|c| c.ts >= cut));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate a small residential network, run the paper's
+//! analysis, and print the Table 2 classification plus the headline
+//! performance numbers.
+//!
+//! ```sh
+//! cargo run --release -p dnsctx --example quickstart
+//! ```
+
+use dnsctx::dns_context::report::{f1, Table};
+use dnsctx::dns_context::ConnClass;
+use dnsctx::pipeline;
+
+fn main() {
+    // 20 houses, one day, tenth-scale activity: a few seconds of work.
+    let study = pipeline::quick_study(20, 0.1, 42);
+    let logs = study.logs();
+    println!(
+        "simulated {} connections and {} DNS transactions\n",
+        logs.conns.len(),
+        logs.dns.len()
+    );
+
+    let analysis = study.analysis();
+    let counts = analysis.class_counts();
+
+    let mut table = Table::new(
+        "DNS information origin by connection (paper Table 2)",
+        &["Class", "Desc.", "Conns", "% Conns"],
+    );
+    for class in ConnClass::all() {
+        table.row(&[
+            class.symbol().to_string(),
+            class.description().to_string(),
+            counts.get(class).to_string(),
+            f1(counts.share_pct(class)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "connections that block on DNS: {:.1}% (paper: 42.1%)",
+        counts.blocked_share_pct()
+    );
+    println!(
+        "shared-resolver cache hit rate: {:.1}% (paper: 62.6%)",
+        100.0 * counts.shared_hit_rate()
+    );
+
+    let sig = analysis.significance();
+    println!(
+        "connections paying a significant DNS cost (>20 ms and >1%): \
+         {:.1}% of blocked, {:.1}% of all (paper: 8.6% / 3.6%)",
+        sig.both_pct, sig.both_share_of_all_pct
+    );
+
+    let perf = analysis.perf();
+    if let Some(median) = perf.delay_ms.median() {
+        println!(
+            "blocked-lookup delay: median {:.1} ms, p75 {:.1} ms, >100 ms for {:.1}% \
+             (paper: 8.5 ms / 20 ms / 3.3%)",
+            median,
+            perf.delay_ms.quantile(0.75).unwrap(),
+            100.0 * perf.delay_ms.fraction_above(100.0)
+        );
+    }
+}

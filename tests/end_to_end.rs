@@ -1,0 +1,196 @@
+//! End-to-end semantic checks: the paper's heuristics, run over the
+//! observable logs alone, must largely recover the simulator's ground
+//! truth — and the derived analyses must satisfy their invariants.
+
+use dnsctx::cache_sim;
+use dnsctx::ccz_sim::{ConnClass as TruthClass, ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::dns_context::{Analysis, AnalysisConfig, ConnClass};
+use dnsctx::zeek_lite::Duration;
+
+fn study() -> (dnsctx::ccz_sim::SimOutput, AnalysisConfig) {
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses: 12, days: 0.3, activity: 1.0 },
+        ..WorkloadConfig::default()
+    };
+    let out = Simulation::new(cfg, 42).unwrap().run();
+    let mut acfg = AnalysisConfig::default();
+    acfg.threshold_rule.min_lookups = 200;
+    (out, acfg)
+}
+
+fn truth_of(analysis_class: ConnClass) -> TruthClass {
+    match analysis_class {
+        ConnClass::NoDns => TruthClass::NoDns,
+        ConnClass::LocalCache => TruthClass::LocalCache,
+        ConnClass::Prefetched => TruthClass::Prefetched,
+        ConnClass::SharedCache => TruthClass::SharedCache,
+        ConnClass::Resolution => TruthClass::Resolution,
+    }
+}
+
+#[test]
+fn analysis_recovers_ground_truth_classes() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+
+    // Connection uid = ground-truth index (LogSink contract), so the
+    // analysis classification can be joined to the truth exactly.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    let mut blocked_agree = 0usize;
+    let mut blocked_total = 0usize;
+    for (pair, class) in analysis.pairing.pairs.iter().zip(&analysis.classes) {
+        let conn = &out.logs.conns[pair.conn];
+        let truth = &out.truth.conns[conn.uid as usize];
+        total += 1;
+        if truth.class == truth_of(*class) {
+            agree += 1;
+        }
+        // Blocked-vs-not is the coarser, more important call.
+        let truth_blocked = matches!(truth.class, TruthClass::SharedCache | TruthClass::Resolution);
+        let ana_blocked = matches!(class, ConnClass::SharedCache | ConnClass::Resolution);
+        blocked_total += 1;
+        if truth_blocked == ana_blocked {
+            blocked_agree += 1;
+        }
+    }
+    let acc = agree as f64 / total as f64;
+    let blocked_acc = blocked_agree as f64 / blocked_total as f64;
+    assert!(total > 5_000, "too little data: {total}");
+    assert!(
+        acc > 0.85,
+        "classification accuracy vs ground truth too low: {acc:.3} over {total}"
+    );
+    assert!(
+        blocked_acc > 0.93,
+        "blocked/non-blocked accuracy too low: {blocked_acc:.3}"
+    );
+}
+
+#[test]
+fn classes_partition_and_shares_sum() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+    let counts = analysis.class_counts();
+    assert_eq!(counts.total(), analysis.pairing.app_conn_count());
+    let share_sum: f64 = ConnClass::all().iter().map(|c| counts.share_pct(*c)).sum();
+    assert!((share_sum - 100.0).abs() < 1e-9, "shares sum to {share_sum}");
+    // Every class occurs in a realistic workload.
+    for class in ConnClass::all() {
+        assert!(counts.get(class) > 0, "class {class:?} absent");
+    }
+}
+
+#[test]
+fn significance_quadrants_partition() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+    let sig = analysis.significance();
+    let sum = sig.neither_pct + sig.rel_only_pct + sig.abs_only_pct + sig.both_pct;
+    assert!((sum - 100.0).abs() < 1e-9, "quadrants sum to {sum}");
+    assert!(sig.both_share_of_all_pct <= sig.both_pct);
+}
+
+#[test]
+fn first_use_gap_split_is_discriminative() {
+    // The Figure 1 rationale: short gaps are dominated by first uses,
+    // long gaps by cache reuse.
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+    let gaps = analysis.gap_analysis();
+    assert!(
+        gaps.first_use_within_knee > 0.75,
+        "within-knee first-use rate {:.2} (paper: 0.91)",
+        gaps.first_use_within_knee
+    );
+    assert!(
+        gaps.first_use_beyond_knee < 0.45,
+        "beyond-knee first-use rate {:.2} (paper: 0.21)",
+        gaps.first_use_beyond_knee
+    );
+    assert!(gaps.first_use_within_knee > gaps.first_use_beyond_knee + 0.3);
+}
+
+#[test]
+fn shared_cache_truth_recovered_by_duration_threshold() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+    // For blocked conns, compare the SC/R call against the resolver's
+    // ground truth (did the platform actually answer from cache?).
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (pair, class) in analysis.pairing.pairs.iter().zip(&analysis.classes) {
+        let ana_sc = match class {
+            ConnClass::SharedCache => true,
+            ConnClass::Resolution => false,
+            _ => continue,
+        };
+        let conn = &out.logs.conns[pair.conn];
+        let truth = &out.truth.conns[conn.uid as usize];
+        let Some(di) = truth.dns_index else { continue };
+        total += 1;
+        if out.truth.dns[di].shared_cache_hit == ana_sc {
+            agree += 1;
+        }
+    }
+    let acc = agree as f64 / total as f64;
+    assert!(total > 1_000);
+    assert!(acc > 0.85, "SC/R recovery too weak: {acc:.3} over {total}");
+}
+
+#[test]
+fn cache_simulations_have_consistent_reports() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+
+    let wh = cache_sim::whole_house(&out.logs, &analysis);
+    assert!(wh.moved <= wh.sc_conns + wh.r_conns);
+    assert!(wh.moved_share_of_all_pct <= 100.0);
+    assert!(wh.moved > 0, "a shared house cache must absorb something");
+
+    let r = cache_sim::refresh(&out.logs, &analysis, Duration::from_secs(10));
+    assert!((r.standard.hit_pct + r.standard.miss_pct - 100.0).abs() < 1e-9);
+    assert!((r.refresh_all.hit_pct + r.refresh_all.miss_pct - 100.0).abs() < 1e-9);
+    assert!(r.refresh_all.hit_pct > r.standard.hit_pct, "refreshing must help hits");
+    assert!(r.refresh_all.lookups > r.standard.lookups, "refreshing must cost lookups");
+    assert!(r.lookup_ratio() > 5.0, "cost blow-up should be large: {:.1}", r.lookup_ratio());
+
+    // Selective refresh sits between the two policies.
+    let sel = cache_sim::refresh_selective(
+        &out.logs,
+        &analysis,
+        Duration::from_secs(10),
+        3,
+        Duration::from_secs(3_600),
+    );
+    assert!(sel.lookups <= r.refresh_all.lookups);
+    assert!(sel.hit_pct >= r.standard.hit_pct - 1e-9);
+}
+
+#[test]
+fn pairing_ambiguity_mostly_single_candidate() {
+    let (out, acfg) = study();
+    let analysis = Analysis::run(&out.logs, acfg);
+    let share = analysis.pairing.single_candidate_share();
+    assert!(
+        share > 0.55 && share < 0.999,
+        "single-candidate share {share:.3} (paper: 0.82) — co-hosting should create some ambiguity"
+    );
+}
+
+#[test]
+fn random_pairing_policy_shifts_results_only_slightly() {
+    // The paper's robustness check: re-running with random candidate
+    // selection must leave the high-level class mix close to the default.
+    let (out, acfg) = study();
+    let a1 = Analysis::run(&out.logs, acfg.clone());
+    let mut cfg2 = acfg;
+    cfg2.policy = dnsctx::dns_context::PairingPolicy::RandomNonExpired;
+    let a2 = Analysis::run(&out.logs, cfg2);
+    let c1 = a1.class_counts();
+    let c2 = a2.class_counts();
+    for class in ConnClass::all() {
+        let d = (c1.share_pct(class) - c2.share_pct(class)).abs();
+        assert!(d < 8.0, "{class:?} share moved {d:.2} points under random pairing");
+    }
+}

@@ -1,0 +1,218 @@
+//! Reproduction-band checks: at the pinned seed and default workload, the
+//! measured results must land near the paper's headline numbers. These
+//! are shape checks (bands and orderings), not exact matches — the
+//! substrate is a simulator, not the CCZ testbed. EXPERIMENTS.md records
+//! the precise values measured at each release.
+
+use dnsctx::dns_context::{Analysis, AnalysisConfig, ConnClass};
+use dnsctx::pipeline;
+
+fn analysis_study() -> dnsctx::pipeline::Study {
+    // Two days at the default (calibration) density: the class mix is
+    // sensitive to absolute temporal density — cache overlap windows are
+    // wall-clock — so the bands are pinned at the density the defaults
+    // were calibrated for (100 houses × activity 0.1).
+    let cfg = dnsctx::ccz_sim::WorkloadConfig {
+        scale: dnsctx::ccz_sim::ScaleKnobs { houses: 100, days: 2.0, activity: 0.1 },
+        ..dnsctx::ccz_sim::WorkloadConfig::default()
+    };
+    let mut study = pipeline::study_with(cfg, 42);
+    // The paper's 1000-lookup popularity cut-off was chosen for a 9.2M-
+    // lookup dataset; at this test's ~100k lookups the proportional cut
+    // keeps the per-resolver thresholds (and Cloudflare's hit rate) from
+    // collapsing to the 5 ms floor.
+    study.analysis_cfg.threshold_rule.min_lookups = 300;
+    study
+}
+
+fn assert_band(what: &str, value: f64, lo: f64, hi: f64) {
+    assert!(
+        (lo..=hi).contains(&value),
+        "{what} = {value:.2} outside reproduction band [{lo}, {hi}]"
+    );
+}
+
+#[test]
+fn table2_class_mix_bands() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let c = a.class_counts();
+    // Paper: N 7.2, LC 42.9, P 7.8, SC 26.3, R 15.7.
+    assert_band("N share %", c.share_pct(ConnClass::NoDns), 3.0, 13.0);
+    assert_band("LC share %", c.share_pct(ConnClass::LocalCache), 33.0, 53.0);
+    assert_band("P share %", c.share_pct(ConnClass::Prefetched), 3.0, 14.0);
+    assert_band("SC share %", c.share_pct(ConnClass::SharedCache), 16.0, 36.0);
+    assert_band("R share %", c.share_pct(ConnClass::Resolution), 8.0, 26.0);
+    // LC dominates; SC > R (the paper's ordering).
+    assert!(c.local_cache > c.shared_cache);
+    assert!(c.shared_cache > c.resolution);
+    assert!(c.shared_cache > c.prefetched);
+}
+
+#[test]
+fn blocked_share_and_hit_rate_bands() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let c = a.class_counts();
+    // Paper: 42.1 % blocked; 62.6 % shared hit rate.
+    assert_band("blocked share %", c.blocked_share_pct(), 28.0, 55.0);
+    assert_band("shared hit rate", 100.0 * c.shared_hit_rate(), 45.0, 78.0);
+}
+
+#[test]
+fn figure1_first_use_rates() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let g = a.gap_analysis();
+    // Paper: 91 % within the 20 ms knee, 21 % beyond.
+    assert_band("first-use within knee %", 100.0 * g.first_use_within_knee, 75.0, 99.0);
+    assert_band("first-use beyond knee %", 100.0 * g.first_use_beyond_knee, 5.0, 40.0);
+}
+
+#[test]
+fn figure2_delay_and_significance_bands() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let p = a.perf();
+    // Paper: median 8.5 ms, p75 20 ms, 3.3 % above 100 ms.
+    let median = p.delay_ms.median().unwrap();
+    assert_band("blocked delay median ms", median, 1.5, 25.0);
+    assert_band(
+        "blocked delay >100ms share %",
+        100.0 * p.delay_ms.fraction_above(100.0),
+        0.2,
+        12.0,
+    );
+    // Paper: DNS contributes >1 % for only 20 % of blocked transactions;
+    // significant (both criteria) for 8.6 % of blocked / 3.6 % of all.
+    let sig = a.significance();
+    assert_band("significant (blocked) %", sig.both_pct, 1.0, 20.0);
+    assert_band("significant (all) %", sig.both_share_of_all_pct, 0.3, 9.0);
+    assert!(sig.neither_pct > 40.0, "most blocked conns are insignificant");
+}
+
+#[test]
+fn section7_hit_rate_ordering() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let reports = a.platform_reports();
+    let rate = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.hit_rate_pct)
+            .unwrap_or(0.0)
+    };
+    // Paper ordering: Cloudflare 83.6 > Local 71.2 > OpenDNS 58.8 > Google 23.0.
+    let (cf, local, od, goog) = (rate("Cloudflare"), rate("Local"), rate("OpenDNS"), rate("Google"));
+    assert!(cf > local, "Cloudflare {cf:.1} should beat Local {local:.1}");
+    assert!(local > od, "Local {local:.1} should beat OpenDNS {od:.1}");
+    assert!(od > goog, "OpenDNS {od:.1} should beat Google {goog:.1}");
+    assert_band("Google hit rate %", goog, 5.0, 45.0);
+    assert_band("Cloudflare hit rate %", cf, 65.0, 99.0);
+}
+
+#[test]
+fn table1_resolver_usage_bands() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let reports = a.platform_reports();
+    let get = |name: &str| reports.iter().find(|r| r.name == name).unwrap();
+    // Paper: Local 72.8 % of lookups from 92.4 % of houses; Google 12.9 %
+    // of lookups from 83.5 % of houses; OpenDNS 9.4 %; Cloudflare 3.9 %.
+    assert_band("Local lookups %", get("Local").lookups_pct, 55.0, 88.0);
+    assert_band("Google lookups %", get("Google").lookups_pct, 5.0, 25.0);
+    assert_band("OpenDNS lookups %", get("OpenDNS").lookups_pct, 3.0, 22.0);
+    assert_band("Cloudflare lookups %", get("Cloudflare").lookups_pct, 0.5, 12.0);
+    assert!(get("Local").houses_pct > 80.0);
+    assert!(get("Google").houses_pct > 55.0);
+    // Lookup share ordering matches the paper.
+    assert!(get("Local").lookups_pct > get("Google").lookups_pct);
+    assert!(get("Google").lookups_pct > get("Cloudflare").lookups_pct);
+}
+
+#[test]
+fn section52_ttl_violations_and_prefetch() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let t = a.ttl_stats();
+    // Paper: 22.2 % of LC, 12.4 % of P use expired records; LC rate higher.
+    assert_band("LC violation %", t.lc_violation_share_pct, 8.0, 38.0);
+    assert_band("P violation %", t.p_violation_share_pct, 1.0, 30.0);
+    assert!(
+        t.lc_violation_share_pct > t.p_violation_share_pct,
+        "LC ({:.1}) should out-violate P ({:.1})",
+        t.lc_violation_share_pct,
+        t.p_violation_share_pct
+    );
+    // Paper: unused lookups 37.8 %; 22.3 % of speculative lookups used;
+    // P use-gap median 310 s < LC 1033 s.
+    assert_band("unused lookups %", t.unused_share_pct, 20.0, 55.0);
+    assert_band("speculative used %", t.speculative_used_share_pct, 10.0, 45.0);
+    let (p_med, lc_med) = (
+        t.p_use_gap_median_secs.unwrap(),
+        t.lc_use_gap_median_secs.unwrap(),
+    );
+    assert!(
+        p_med < lc_med,
+        "P median use gap ({p_med:.0}s) should undercut LC ({lc_med:.0}s)"
+    );
+}
+
+#[test]
+fn section8_whole_house_and_refresh_bands() {
+    let study = analysis_study();
+    let a = study.analysis();
+    let wh = dnsctx::cache_sim::whole_house(study.logs(), &a);
+    // Paper: 9.8 % of all conns move; 22 % of SC, 25 % of R benefit.
+    assert_band("whole-house moved %", wh.moved_share_of_all_pct, 3.0, 20.0);
+    assert_band("SC benefit %", wh.sc_benefit_pct, 8.0, 45.0);
+    // R-side absorption is structurally underestimated (see
+    // EXPERIMENTS.md): only fan-out platforms produce absorbable R repeats.
+    assert_band("R benefit %", wh.r_benefit_pct, 1.5, 45.0);
+
+    let r = dnsctx::cache_sim::refresh(
+        study.logs(),
+        &a,
+        dnsctx::zeek_lite::Duration::from_secs(10),
+    );
+    // Paper: hits 61 % → 96.6 %; lookups ×144.
+    assert_band("standard hit %", r.standard.hit_pct, 45.0, 80.0);
+    assert_band("refresh hit %", r.refresh_all.hit_pct, 72.0, 99.9);
+    assert!(
+        r.lookup_ratio() > 20.0,
+        "refresh cost blow-up only {:.0}x (paper: 144x)",
+        r.lookup_ratio()
+    );
+}
+
+#[test]
+fn pairing_ambiguity_band() {
+    let study = analysis_study();
+    let a = study.analysis();
+    // Paper: 82 % of paired connections have a single candidate.
+    assert_band(
+        "single-candidate share %",
+        100.0 * a.pairing.single_candidate_share(),
+        60.0,
+        97.0,
+    );
+}
+
+#[test]
+fn figure3_artifact_and_threshold_sanity() {
+    let study = analysis_study();
+    let mut cfg = AnalysisConfig::default();
+    cfg.threshold_rule.min_lookups = 200;
+    let a = Analysis::run(study.logs(), cfg);
+    let reports = a.platform_reports();
+    let google = reports.iter().find(|r| r.name == "Google").unwrap();
+    // Paper: 23.5 % of Google's blocked conns are connectivitycheck.
+    assert_band("Google artifact share %", google.artifact_conn_share_pct, 5.0, 50.0);
+    // Per-resolver thresholds were derived for the popular resolvers.
+    assert!(
+        a.thresholds.len() >= 4,
+        "expected thresholds for the popular resolver addresses: {:?}",
+        a.thresholds
+    );
+}
