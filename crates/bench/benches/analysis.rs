@@ -1,50 +1,32 @@
 //! Analysis-pipeline benchmarks: pairing, classification, statistics.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dnsctx::dns_context::{Analysis, AnalysisConfig, Pairing, PairingPolicy};
+use xkit::bench::Harness;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let out = bench::sim(10, 0.2, 1.0, 7).run();
-    let conns = out.logs.conns.len() as u64;
-    let mut g = c.benchmark_group("analysis");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(conns));
-    g.bench_function("pairing_most_recent", |b| {
-        b.iter(|| {
-            std::hint::black_box(Pairing::build(
-                &out.logs.conns,
-                &out.logs.dns,
-                PairingPolicy::MostRecent,
-            ))
-        })
+    let mut h = Harness::new("analysis");
+    h.samples = 10;
+    h.bench("pairing_most_recent", || {
+        Pairing::build(&out.logs.conns, &out.logs.dns, PairingPolicy::MostRecent).pairs.len()
     });
-    g.bench_function("full_analysis", |b| {
-        b.iter(|| {
-            let a = Analysis::run(&out.logs, AnalysisConfig::default());
-            std::hint::black_box(a.class_counts())
-        })
+    h.bench("full_analysis", || {
+        Analysis::run(&out.logs, AnalysisConfig::default()).class_counts()
     });
     let a = Analysis::run(&out.logs, AnalysisConfig::default());
-    g.bench_function("perf_and_significance", |b| {
-        b.iter(|| std::hint::black_box(a.significance()))
-    });
-    g.bench_function("platform_reports", |b| {
-        b.iter(|| std::hint::black_box(a.platform_reports().len()))
-    });
-    g.finish();
+    h.bench("perf_and_significance", || a.significance());
+    h.bench("platform_reports", || a.platform_reports().len());
+    h.note("conns_per_iter", out.logs.conns.len() as f64);
+    h.print_table();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
-    g.bench_function("simulate_2_houses_1h", |b| {
-        b.iter(|| {
-            let out = bench::sim(2, 1.0 / 24.0, 1.0, 3).run();
-            std::hint::black_box(out.logs.conns.len())
-        })
-    });
-    g.finish();
+fn bench_simulator() {
+    let mut h = Harness::coarse("simulator");
+    h.bench("simulate_2_houses_1h", || bench::sim(2, 1.0 / 24.0, 1.0, 3).run().logs.conns.len());
+    h.print_table();
 }
 
-criterion_group!(benches, bench_pipeline, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_simulator();
+}

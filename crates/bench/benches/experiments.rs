@@ -1,67 +1,42 @@
-//! One Criterion benchmark per paper artifact: each measures the cost of
+//! One benchmark per paper artifact: each measures the cost of
 //! regenerating that table or figure from prepared logs (the `repro`
 //! binary prints the contents; these benches track the pipeline's speed
 //! for every artifact so regressions in any stage are visible).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dnsctx::cache_sim;
 use dnsctx::dns_context::{Analysis, AnalysisConfig};
 use dnsctx::zeek_lite::Duration;
+use xkit::bench::Harness;
 
-fn experiments(c: &mut Criterion) {
+fn main() {
     let out = bench::sim(8, 0.15, 1.0, 42).run();
     let analysis = Analysis::run(&out.logs, AnalysisConfig::default());
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(20);
+    let mut h = Harness::new("experiments");
+    h.samples = 10;
 
-    g.bench_function("table1_resolver_usage", |b| {
-        b.iter(|| std::hint::black_box(analysis.platform_reports().len()))
+    h.bench("table1_resolver_usage", || analysis.platform_reports().len());
+    h.bench("table2_classification", || analysis.class_counts());
+    h.bench("table3_refresh_sim", || {
+        cache_sim::refresh(&out.logs, &analysis, Duration::from_secs(10))
     });
-    g.bench_function("table2_classification", |b| {
-        b.iter(|| std::hint::black_box(analysis.class_counts()))
+    h.bench("fig1_gap_distribution", || analysis.gap_analysis().gaps_ms.len());
+    h.bench("fig2_perf_distributions", || analysis.perf().delay_ms.len());
+    h.bench("fig3_platform_distributions", || {
+        let reports = analysis.platform_reports();
+        reports.iter().map(|r| r.throughput_bps.len()).sum::<usize>()
     });
-    g.bench_function("table3_refresh_sim", |b| {
-        b.iter(|| {
-            std::hint::black_box(cache_sim::refresh(&out.logs, &analysis, Duration::from_secs(10)))
-        })
+    h.bench("sec51_no_dns_breakdown", || analysis.no_dns_breakdown().total);
+    h.bench("sec52_ttl_stats", || analysis.ttl_stats().unused_lookups);
+    h.bench("sec8_whole_house_sim", || cache_sim::whole_house(&out.logs, &analysis).moved);
+    h.bench("sec8_selective_refresh", || {
+        cache_sim::refresh_selective(
+            &out.logs,
+            &analysis,
+            Duration::from_secs(10),
+            3,
+            Duration::from_secs(3_600),
+        )
+        .lookups
     });
-    g.bench_function("fig1_gap_distribution", |b| {
-        b.iter(|| std::hint::black_box(analysis.gap_analysis().gaps_ms.len()))
-    });
-    g.bench_function("fig2_perf_distributions", |b| {
-        b.iter(|| std::hint::black_box(analysis.perf().delay_ms.len()))
-    });
-    g.bench_function("fig3_platform_distributions", |b| {
-        b.iter(|| {
-            let reports = analysis.platform_reports();
-            std::hint::black_box(reports.iter().map(|r| r.throughput_bps.len()).sum::<usize>())
-        })
-    });
-    g.bench_function("sec51_no_dns_breakdown", |b| {
-        b.iter(|| std::hint::black_box(analysis.no_dns_breakdown().total))
-    });
-    g.bench_function("sec52_ttl_stats", |b| {
-        b.iter(|| std::hint::black_box(analysis.ttl_stats().unused_lookups))
-    });
-    g.bench_function("sec8_whole_house_sim", |b| {
-        b.iter(|| std::hint::black_box(cache_sim::whole_house(&out.logs, &analysis).moved))
-    });
-    g.bench_function("sec8_selective_refresh", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                cache_sim::refresh_selective(
-                    &out.logs,
-                    &analysis,
-                    Duration::from_secs(10),
-                    3,
-                    Duration::from_secs(3_600),
-                )
-                .lookups,
-            )
-        })
-    });
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, experiments);
-criterion_main!(benches);

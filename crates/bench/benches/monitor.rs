@@ -1,7 +1,7 @@
 //! Monitor-path benchmarks: packet stream → conn.log + dns.log.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dnsctx::zeek_lite::{logfmt, Monitor, MonitorConfig};
+use xkit::bench::Harness;
 
 fn capture_fixture() -> (Vec<u8>, u64) {
     // A deterministic small-town capture: 4 houses, ~45 simulated minutes.
@@ -11,39 +11,36 @@ fn capture_fixture() -> (Vec<u8>, u64) {
     (buf, frames)
 }
 
-fn bench_monitor(c: &mut Criterion) {
+fn bench_monitor() {
     let (capture, frames) = capture_fixture();
-    let mut g = c.benchmark_group("monitor");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(frames));
-    g.bench_function("process_pcap", |b| {
-        b.iter(|| {
-            let logs = Monitor::process_pcap(std::hint::black_box(&capture[..]), MonitorConfig::default())
-                .unwrap();
-            std::hint::black_box(logs.conns.len())
-        })
+    let mut h = Harness::new("monitor");
+    h.samples = 10;
+    h.bench("process_pcap", || {
+        Monitor::process_pcap(std::hint::black_box(&capture[..]), MonitorConfig::default())
+            .unwrap()
+            .conns
+            .len()
     });
-    g.finish();
+    h.note("frames_per_iter", frames as f64);
+    h.print_table();
 }
 
-fn bench_logfmt(c: &mut Criterion) {
+fn bench_logfmt() {
     let out = bench::small_output(7);
     let mut conn_buf = Vec::new();
     logfmt::write_conn_log(&mut conn_buf, &out.logs.conns).unwrap();
-    let mut g = c.benchmark_group("logfmt");
-    g.throughput(Throughput::Elements(out.logs.conns.len() as u64));
-    g.bench_function("write_conn_log", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(conn_buf.len());
-            logfmt::write_conn_log(&mut buf, &out.logs.conns).unwrap();
-            std::hint::black_box(buf)
-        })
+    let mut h = Harness::new("logfmt");
+    h.bench("write_conn_log", || {
+        let mut buf = Vec::with_capacity(conn_buf.len());
+        logfmt::write_conn_log(&mut buf, &out.logs.conns).unwrap();
+        buf
     });
-    g.bench_function("read_conn_log", |b| {
-        b.iter(|| std::hint::black_box(logfmt::read_conn_log(&conn_buf[..]).unwrap().len()))
-    });
-    g.finish();
+    h.bench("read_conn_log", || logfmt::read_conn_log(&conn_buf[..]).unwrap().len());
+    h.note("conns_per_iter", out.logs.conns.len() as f64);
+    h.print_table();
 }
 
-criterion_group!(benches, bench_monitor, bench_logfmt);
-criterion_main!(benches);
+fn main() {
+    bench_monitor();
+    bench_logfmt();
+}

@@ -1,10 +1,10 @@
 //! Microbenchmarks for the wire-format layers.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dnsctx::dns_wire::{Message, Name, Record, RrType};
 use dnsctx::netpkt::{Frame, MacAddr, Packet, TcpFlags, TcpHeader};
 use dnsctx::pcapio::{PcapReader, PcapWriter, TsPrecision};
 use std::net::Ipv4Addr;
+use xkit::bench::Harness;
 
 fn sample_response() -> Message {
     let name = Name::parse("www.example-service.com").unwrap();
@@ -21,19 +21,17 @@ fn sample_response() -> Message {
     m
 }
 
-fn bench_dns_wire(c: &mut Criterion) {
+fn bench_dns_wire() {
     let msg = sample_response();
     let wire = msg.encode();
-    let mut g = c.benchmark_group("dns_wire");
-    g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("encode_response", |b| b.iter(|| std::hint::black_box(msg.encode())));
-    g.bench_function("decode_response", |b| {
-        b.iter(|| Message::decode(std::hint::black_box(&wire)).unwrap())
-    });
-    g.finish();
+    let mut h = Harness::new("dns_wire");
+    h.bench("encode_response", || msg.encode());
+    h.bench("decode_response", || Message::decode(std::hint::black_box(&wire)).unwrap());
+    h.note("message_bytes", wire.len() as f64);
+    h.print_table();
 }
 
-fn bench_netpkt(c: &mut Criterion) {
+fn bench_netpkt() {
     let frame = Frame::tcp(
         MacAddr::LOCAL,
         MacAddr::UPSTREAM,
@@ -43,30 +41,24 @@ fn bench_netpkt(c: &mut Criterion) {
         b"payload bytes here",
     );
     let bytes = frame.encode();
-    let mut g = c.benchmark_group("netpkt");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("build_tcp_frame", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                Frame::tcp(
-                    MacAddr::LOCAL,
-                    MacAddr::UPSTREAM,
-                    Ipv4Addr::new(10, 77, 0, 1),
-                    Ipv4Addr::new(104, 16, 0, 9),
-                    TcpHeader::segment(50_000, 443, 1_000, 2_000, TcpFlags::PSH_ACK),
-                    b"payload bytes here",
-                )
-                .encode(),
-            )
-        })
+    let mut h = Harness::new("netpkt");
+    h.bench("build_tcp_frame", || {
+        Frame::tcp(
+            MacAddr::LOCAL,
+            MacAddr::UPSTREAM,
+            Ipv4Addr::new(10, 77, 0, 1),
+            Ipv4Addr::new(104, 16, 0, 9),
+            TcpHeader::segment(50_000, 443, 1_000, 2_000, TcpFlags::PSH_ACK),
+            b"payload bytes here",
+        )
+        .encode()
     });
-    g.bench_function("parse_tcp_frame", |b| {
-        b.iter(|| Packet::parse(std::hint::black_box(&bytes), bytes.len()).unwrap())
-    });
-    g.finish();
+    h.bench("parse_tcp_frame", || Packet::parse(std::hint::black_box(&bytes), bytes.len()).unwrap());
+    h.note("frame_bytes", bytes.len() as f64);
+    h.print_table();
 }
 
-fn bench_pcap(c: &mut Criterion) {
+fn bench_pcap() {
     let frame_bytes = Frame::udp(
         MacAddr::LOCAL,
         MacAddr::UPSTREAM,
@@ -78,17 +70,14 @@ fn bench_pcap(c: &mut Criterion) {
     )
     .encode();
     const FRAMES: usize = 1_000;
-    let mut g = c.benchmark_group("pcapio");
-    g.throughput(Throughput::Elements(FRAMES as u64));
-    g.bench_function("write_1k_records", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(FRAMES * (frame_bytes.len() + 16) + 24);
-            let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
-            for i in 0..FRAMES {
-                w.write_packet(i as u64 * 1_000, &frame_bytes, None).unwrap();
-            }
-            std::hint::black_box(buf)
-        })
+    let mut h = Harness::new("pcapio");
+    h.bench("write_1k_records", || {
+        let mut buf = Vec::with_capacity(FRAMES * (frame_bytes.len() + 16) + 24);
+        let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+        for i in 0..FRAMES {
+            w.write_packet(i as u64 * 1_000, &frame_bytes, None).unwrap();
+        }
+        buf
     });
     let capture = {
         let mut buf = Vec::new();
@@ -98,15 +87,15 @@ fn bench_pcap(c: &mut Criterion) {
         }
         buf
     };
-    g.bench_function("read_1k_records", |b| {
-        b.iter_batched(
-            || capture.clone(),
-            |buf| PcapReader::new(&buf[..]).unwrap().records().count(),
-            BatchSize::SmallInput,
-        )
+    h.bench("read_1k_records", || {
+        PcapReader::new(std::hint::black_box(&capture[..])).unwrap().records().count()
     });
-    g.finish();
+    h.note("records_per_iter", FRAMES as f64);
+    h.print_table();
 }
 
-criterion_group!(benches, bench_dns_wire, bench_netpkt, bench_pcap);
-criterion_main!(benches);
+fn main() {
+    bench_dns_wire();
+    bench_netpkt();
+    bench_pcap();
+}

@@ -9,10 +9,16 @@
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7
-//! sec8 diurnal houses ablate-threshold ablate-pairing ablate-scr all`.
+//! sec8 diurnal houses ablate-threshold ablate-pairing ablate-scr bench
+//! all`.
 //!
 //! Options: `--houses N` (100), `--days D` (7), `--scale A` (0.1 activity),
-//! `--seed S` (42), `--csv` (emit CDF point series for the figures).
+//! `--seed S` (42), `--seeds K` (1; >1 runs a parallel seed sweep),
+//! `--threads N` (0 = one worker per core; output is bit-identical for
+//! every value), `--csv` (emit CDF point series for the figures).
+//!
+//! `bench` times the pipeline stages with `xkit::bench` and writes
+//! `BENCH_repro.json` to the current directory.
 
 use dnsctx::cache_sim;
 use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
@@ -26,8 +32,18 @@ struct Opts {
     scale: f64,
     seed: u64,
     seeds: usize,
+    threads: usize,
     csv: bool,
     experiments: Vec<String>,
+}
+
+impl Opts {
+    /// The analysis configuration these options imply.
+    fn analysis_cfg(&self) -> AnalysisConfig {
+        let mut cfg = AnalysisConfig::default();
+        cfg.threads = self.threads;
+        cfg
+    }
 }
 
 fn parse_args() -> Opts {
@@ -37,6 +53,7 @@ fn parse_args() -> Opts {
         scale: 0.1,
         seed: 42,
         seeds: 1,
+        threads: 0,
         csv: false,
         experiments: Vec::new(),
     };
@@ -52,12 +69,13 @@ fn parse_args() -> Opts {
             "--scale" => opts.scale = grab("--scale").parse().expect("scale"),
             "--seed" => opts.seed = grab("--seed").parse().expect("seed"),
             "--seeds" => opts.seeds = grab("--seeds").parse().expect("seeds"),
+            "--threads" => opts.threads = grab("--threads").parse().expect("threads"),
             "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--csv]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr all"
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench all"
                 );
                 std::process::exit(0);
             }
@@ -76,7 +94,9 @@ fn main() {
         scale: ScaleKnobs { houses: opts.houses, days: opts.days, activity: opts.scale },
         ..WorkloadConfig::default()
     };
-    if opts.seeds > 1 {
+    // `bench` needs the single-seed pipeline below (its sweep uses
+    // --seeds itself), so the sweep shortcut only applies without it.
+    if opts.seeds > 1 && !opts.experiments.iter().any(|e| e == "bench") {
         multi_seed(&cfg, &opts);
         return;
     }
@@ -85,14 +105,17 @@ fn main() {
         opts.houses, opts.days, opts.scale, opts.seed
     );
     let t0 = std::time::Instant::now();
-    let out = Simulation::new(cfg, opts.seed).expect("valid config").run();
+    let out = Simulation::new(cfg.clone(), opts.seed)
+        .expect("valid config")
+        .with_threads(opts.threads)
+        .run();
     eprintln!(
         "# {} connections, {} DNS transactions in {:.1}s; running analysis ...",
         count(out.logs.conns.len()),
         count(out.logs.dns.len()),
         t0.elapsed().as_secs_f64()
     );
-    let analysis = Analysis::run(&out.logs, AnalysisConfig::default());
+    let analysis = Analysis::run(&out.logs, opts.analysis_cfg());
     eprintln!("# analysis done in {:.1}s total\n", t0.elapsed().as_secs_f64());
 
     let all = opts.experiments.iter().any(|e| e == "all");
@@ -142,6 +165,11 @@ fn main() {
     }
     if want("ablate-scr") {
         ablate_scr(&out.logs);
+    }
+    // Not part of `all`: timings are inherently run-to-run noisy, and
+    // `all`'s stdout must stay byte-identical across thread counts.
+    if opts.experiments.iter().any(|e| e == "bench") {
+        bench(&cfg, &opts, &out.logs, &analysis);
     }
 }
 
@@ -501,54 +529,58 @@ fn ablate_scr(logs: &Logs) {
 }
 
 
+/// One seed's headline statistics, for the multi-seed spread table.
+#[derive(Clone, Copy)]
+struct Headline {
+    seed: u64,
+    shares: [f64; 5],
+    blocked: f64,
+    hit_rate: f64,
+    significant_all: f64,
+}
+
+/// Run one full simulation + analysis and distill the headline numbers.
+/// Each worker runs its simulation single-threaded: in a seed sweep the
+/// parallelism budget is spent across seeds, not within one.
+fn headline_for_seed(cfg: &WorkloadConfig, seed: u64) -> Headline {
+    let out = Simulation::new(cfg.clone(), seed)
+        .expect("valid config")
+        .with_threads(1)
+        .run();
+    let mut acfg = AnalysisConfig::default();
+    acfg.threads = 1;
+    let analysis = Analysis::run(&out.logs, acfg);
+    let c = analysis.class_counts();
+    let shares = [
+        c.share_pct(ConnClass::NoDns),
+        c.share_pct(ConnClass::LocalCache),
+        c.share_pct(ConnClass::Prefetched),
+        c.share_pct(ConnClass::SharedCache),
+        c.share_pct(ConnClass::Resolution),
+    ];
+    Headline {
+        seed,
+        shares,
+        blocked: c.blocked_share_pct(),
+        hit_rate: 100.0 * c.shared_hit_rate(),
+        significant_all: analysis.significance().both_share_of_all_pct,
+    }
+}
+
 /// Multi-seed mode: run K simulations in parallel and report the spread
 /// of the headline statistics — a confidence check that no conclusion
 /// hangs on one lucky seed.
 fn multi_seed(cfg: &WorkloadConfig, opts: &Opts) {
-    #[derive(Clone, Copy)]
-    struct Headline {
-        seed: u64,
-        shares: [f64; 5],
-        blocked: f64,
-        hit_rate: f64,
-        significant_all: f64,
-    }
     eprintln!(
-        "# running {} seeds ({}..{}) in parallel ...",
+        "# running {} seeds ({}..{}) across {} worker(s) ...",
         opts.seeds,
         opts.seed,
-        opts.seed + opts.seeds as u64 - 1
+        opts.seed + opts.seeds as u64 - 1,
+        xkit::par::resolve_threads(opts.threads).min(opts.seeds)
     );
-    let results = parking_lot::Mutex::new(Vec::<Headline>::new());
-    crossbeam::thread::scope(|scope| {
-        for k in 0..opts.seeds {
-            let seed = opts.seed + k as u64;
-            let cfg = cfg.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                let out = Simulation::new(cfg, seed).expect("valid config").run();
-                let analysis = Analysis::run(&out.logs, AnalysisConfig::default());
-                let c = analysis.class_counts();
-                let shares = [
-                    c.share_pct(ConnClass::NoDns),
-                    c.share_pct(ConnClass::LocalCache),
-                    c.share_pct(ConnClass::Prefetched),
-                    c.share_pct(ConnClass::SharedCache),
-                    c.share_pct(ConnClass::Resolution),
-                ];
-                results.lock().push(Headline {
-                    seed,
-                    shares,
-                    blocked: c.blocked_share_pct(),
-                    hit_rate: 100.0 * c.shared_hit_rate(),
-                    significant_all: analysis.significance().both_share_of_all_pct,
-                });
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut rows = results.into_inner();
-    rows.sort_by_key(|h| h.seed);
+    let seeds: Vec<u64> = (0..opts.seeds as u64).map(|k| opts.seed + k).collect();
+    // par_map preserves input order, so the rows come back seed-sorted.
+    let rows = xkit::par::par_map(opts.threads, seeds, |_, seed| headline_for_seed(cfg, seed));
 
     let mut t = Table::new(
         "headline statistics across seeds (paper: N 7.2, LC 42.9, P 7.8, SC 26.3, R 15.7; blocked 42.1; hit 62.6; signif 3.6)",
@@ -593,4 +625,80 @@ fn multi_seed(cfg: &WorkloadConfig, opts: &Opts) {
     t.row(&mean_row);
     t.row(&spread_row);
     println!("{}", t.render());
+}
+
+/// `bench` experiment: time the pipeline stages (simulate, pair,
+/// classify, perf) with `xkit::bench`, measure the seed sweep
+/// sequential vs parallel, and write `BENCH_repro.json` to the current
+/// directory as a baseline for future runs.
+fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>) {
+    use dnsctx::dns_context::classify::classify_parallel;
+    use dnsctx::dns_context::Pairing;
+
+    eprintln!("# bench: timing pipeline stages ...");
+    let mut h = xkit::bench::Harness::coarse("repro");
+    h.samples = 3;
+    let acfg = opts.analysis_cfg();
+
+    h.bench("simulate", || {
+        Simulation::new(cfg.clone(), opts.seed)
+            .expect("valid config")
+            .with_threads(opts.threads)
+            .run()
+            .logs
+            .conns
+            .len()
+    });
+    h.bench("pair", || {
+        Pairing::build(&logs.conns, &logs.dns, acfg.policy).pairs.len()
+    });
+    let floor = Duration::from_secs_f64(acfg.threshold_rule.floor_ms / 1e3);
+    h.bench("classify", || {
+        classify_parallel(
+            opts.threads,
+            &logs.dns,
+            &analysis.pairing,
+            acfg.block_threshold,
+            &analysis.thresholds,
+            floor,
+        )
+        .len()
+    });
+    h.bench("perf", || analysis.perf().blocked.len());
+
+    // Seed-sweep scaling: the identical K-seed sweep on one worker vs
+    // the requested thread count. The headline statistics must agree
+    // exactly — the sweep is deterministic per seed.
+    let sweep_seeds: Vec<u64> = (0..opts.seeds.max(2) as u64).map(|k| opts.seed + k).collect();
+    eprintln!(
+        "# bench: {}-seed sweep, sequential vs parallel ...",
+        sweep_seeds.len()
+    );
+    let t = std::time::Instant::now();
+    let seq = xkit::par::par_map(1, sweep_seeds.clone(), |_, seed| headline_for_seed(cfg, seed));
+    let seq_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let par = xkit::par::par_map(opts.threads, sweep_seeds.clone(), |_, seed| {
+        headline_for_seed(cfg, seed)
+    });
+    let par_s = t.elapsed().as_secs_f64();
+    assert_eq!(seq.len(), par.len());
+    assert!(
+        seq.iter().zip(&par).all(|(a, b)| a.shares == b.shares),
+        "parallel sweep diverged from sequential"
+    );
+
+    h.note("cores", xkit::par::available_threads() as f64);
+    h.note("threads", xkit::par::resolve_threads(opts.threads) as f64);
+    h.note("houses", opts.houses as f64);
+    h.note("days", opts.days);
+    h.note("activity", opts.scale);
+    h.note("sweep_seeds", sweep_seeds.len() as f64);
+    h.note("sweep_seq_s", seq_s);
+    h.note("sweep_par_s", par_s);
+    h.note("sweep_speedup_x", seq_s / par_s.max(1e-9));
+    h.print_table();
+    let path = std::path::Path::new("BENCH_repro.json");
+    h.write_json(path).expect("write BENCH_repro.json");
+    eprintln!("# bench: wrote {}", path.display());
 }

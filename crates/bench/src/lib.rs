@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benches and the `repro` harness.
+//! Shared fixtures for the `xkit::bench` benches and the `repro` harness.
 
 use dnsctx::ccz_sim::{ScaleKnobs, SimOutput, Simulation, WorkloadConfig};
 

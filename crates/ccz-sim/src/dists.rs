@@ -1,8 +1,8 @@
 //! Random distributions the workload model needs, implemented from scratch
-//! on top of `rand`'s uniform primitives (the `rand_distr` crate is not a
-//! dependency of this workspace).
+//! on top of `xkit::rng`'s uniform primitives (no external distribution
+//! crate is a dependency of this workspace).
 
-use rand::{Rng, RngExt};
+use xkit::rng::{Rng, RngExt};
 
 /// Log-normal distribution parameterised by the *median* and the shape
 /// `sigma` (standard deviation of the underlying normal). Medians are how
@@ -163,8 +163,8 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xkit::rng::StdRng;
+    use xkit::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -6,8 +6,8 @@ use crate::names::{NameId, NameUniverse, ServiceId};
 use crate::output::{ConnEmission, ConnFate, DnsEmission, LogSink, PcapSink, Sink};
 use crate::resolvers::ResolverPlatform;
 use crate::truth::{ConnClass, GroundTruth, TruthConn, TruthDns};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xkit::rng::StdRng;
+use xkit::rng::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, Write};
@@ -38,25 +38,126 @@ pub struct SimOutput {
     pub platform_stats: Vec<(String, u64, u64)>,
 }
 
+/// Houses per simulation shard — the unit of parallelism. The partition
+/// is a pure function of the house count (never of the thread count), so
+/// a run's output is bit-identical however many workers execute it; small
+/// test configs collapse to a single shard.
+const HOUSES_PER_SHARD: usize = 25;
+
+/// Balanced contiguous house ranges, one per shard.
+fn shard_spans(houses: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = houses.div_ceil(HOUSES_PER_SHARD).max(1);
+    let base = houses / shards;
+    let rem = houses % shards;
+    let mut spans = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for k in 0..shards {
+        let len = base + usize::from(k < rem);
+        spans.push(lo..lo + len);
+        lo += len;
+    }
+    spans
+}
+
+/// Immutable world state shared read-only by every shard: the name
+/// universe and the P2P peer pool, generated once from the master seed.
+/// The master RNG's post-generation state is the base each shard's
+/// independent stream is split from.
+struct SharedWorld {
+    names: NameUniverse,
+    p2p_peers: Vec<Ipv4Addr>,
+    base_rng: StdRng,
+}
+
+impl SharedWorld {
+    fn prepare(cfg: &WorkloadConfig, seed: u64) -> SharedWorld {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names = NameUniverse::generate(cfg, &mut rng);
+        let p2p_peers = (0..2_000)
+            .map(|_| {
+                // Random "public" peers well away from our other ranges.
+                Ipv4Addr::from(0x3A00_0000u32 + rng.random_range(0..0x00FF_FFFFu32))
+            })
+            .collect();
+        SharedWorld { names, p2p_peers, base_rng: rng }
+    }
+}
+
 /// A configured simulation; [`run`](Simulation::run) is a pure function of
-/// (config, seed).
+/// (config, seed). The thread count only changes wall-clock time, never
+/// the output: houses are partitioned into fixed shards with independent
+/// RNG streams, and shard outputs merge in partition order.
 pub struct Simulation {
     cfg: WorkloadConfig,
     seed: u64,
+    threads: usize,
 }
 
 impl Simulation {
     /// Validate the config and build a simulation.
     pub fn new(cfg: WorkloadConfig, seed: u64) -> Result<Simulation, String> {
         cfg.validate()?;
-        Ok(Simulation { cfg, seed })
+        Ok(Simulation { cfg, seed, threads: 0 })
+    }
+
+    /// Set the worker-thread count for sharded runs (0 = one per core).
+    /// Output is bit-identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Simulation {
+        self.threads = threads;
+        self
+    }
+
+    /// Drive every shard (in parallel when threads allow) and merge the
+    /// ground truth in shard order. Returns the per-shard sinks in that
+    /// same order, plus merged truth and summed platform stats. The
+    /// merged truth's dns indices point into the concatenated emission
+    /// order.
+    fn drive_all<S, F>(&self, make_sink: F) -> (Vec<S>, GroundTruth, Vec<(String, u64, u64)>)
+    where
+        S: Sink + Send,
+        F: Fn() -> S + Sync,
+    {
+        let shared = SharedWorld::prepare(&self.cfg, self.seed);
+        let spans = shard_spans(self.cfg.scale.houses);
+        let parts = xkit::par::par_indexed(self.threads, spans.len(), |k| {
+            let mut sink = make_sink();
+            let (truth, stats) =
+                Engine::drive_shard(&self.cfg, &shared, k as u64, spans[k].clone(), &mut sink);
+            (sink, truth, stats)
+        });
+        let mut sinks = Vec::with_capacity(parts.len());
+        let mut truth = GroundTruth::default();
+        let mut platform_stats: Vec<(String, u64, u64)> = Vec::new();
+        for (sink, mut shard_truth, stats) in parts {
+            let dns_off = truth.dns.len();
+            for tc in &mut shard_truth.conns {
+                if let Some(di) = tc.dns_index {
+                    tc.dns_index = Some(di + dns_off);
+                }
+            }
+            truth.conns.extend(shard_truth.conns);
+            truth.dns.extend(shard_truth.dns);
+            if platform_stats.is_empty() {
+                platform_stats = stats;
+            } else {
+                for (acc, s) in platform_stats.iter_mut().zip(stats) {
+                    acc.1 += s.1;
+                    acc.2 += s.2;
+                }
+            }
+            sinks.push(sink);
+        }
+        (sinks, truth, platform_stats)
     }
 
     /// Run in direct-log mode.
     pub fn run(&self) -> SimOutput {
-        let mut sink = LogSink::new();
-        let (mut truth, platform_stats) = Engine::drive(&self.cfg, self.seed, &mut sink);
-        let (logs, dns_perm) = sink.into_logs_and_dns_perm();
+        let (sinks, mut truth, platform_stats) = self.drive_all(LogSink::new);
+        let mut merged = LogSink::new();
+        for s in sinks {
+            merged.absorb(s);
+        }
+        let (logs, dns_perm) = merged.into_logs_and_dns_perm();
         // Emission order is only approximately time-ordered; remap the
         // ground truth through the sort so truth.dns[i] corresponds to
         // logs.dns[i] and every dns_index points into the sorted log.
@@ -78,9 +179,12 @@ impl Simulation {
     /// bytes to [`zeek_lite::Monitor::process_pcap`] to obtain logs the
     /// hard way.
     pub fn run_pcap<W: Write>(&self, out: W, snaplen: u32) -> io::Result<(GroundTruth, u64)> {
-        let mut sink = PcapSink::new();
-        let (truth, _) = Engine::drive(&self.cfg, self.seed, &mut sink);
-        let frames = sink.write_pcap(out, snaplen)?;
+        let (sinks, truth, _) = self.drive_all(PcapSink::new);
+        let mut merged = PcapSink::new();
+        for s in sinks {
+            merged.absorb(s);
+        }
+        let frames = merged.write_pcap(out, snaplen)?;
         Ok((truth, frames))
     }
 }
@@ -206,7 +310,11 @@ enum Profile {
 struct Engine<'a, S: Sink> {
     cfg: &'a WorkloadConfig,
     rng: StdRng,
-    names: NameUniverse,
+    names: &'a NameUniverse,
+    /// This shard's resolver platform instances. Semantically each shard's
+    /// houses land on a distinct anycast frontend group of the platform;
+    /// sharing with the platform's users outside the shard rides on the
+    /// external-warmth model.
     platforms: Vec<ResolverPlatform>,
     houses: Vec<House>,
     heap: BinaryHeap<Reverse<HeapEntry>>,
@@ -220,25 +328,27 @@ struct Engine<'a, S: Sink> {
     server_rtt: LogNormal,
     web_bytes: BoundedPareto,
     rate: LogNormal,
-    p2p_peers: Vec<Ipv4Addr>,
+    p2p_peers: &'a [Ipv4Addr],
 }
 
 impl<'a, S: Sink> Engine<'a, S> {
-    fn drive(cfg: &'a WorkloadConfig, seed: u64, sink: &'a mut S) -> (GroundTruth, Vec<(String, u64, u64)>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let names = NameUniverse::generate(cfg, &mut rng);
+    /// Drive one shard: the houses in `span` (global indices — addresses,
+    /// ports and DNS ids stay partition-invariant), on an RNG stream split
+    /// off the master state by shard index.
+    fn drive_shard(
+        cfg: &'a WorkloadConfig,
+        shared: &'a SharedWorld,
+        shard: u64,
+        span: std::ops::Range<usize>,
+        sink: &'a mut S,
+    ) -> (GroundTruth, Vec<(String, u64, u64)>) {
+        let rng = shared.base_rng.split(shard);
         let platforms: Vec<ResolverPlatform> =
             cfg.platforms.iter().cloned().map(ResolverPlatform::new).collect();
         let end = Timestamp::from_secs(EPOCH_UNIX) + Duration::from_secs_f64(cfg.scale.duration_secs());
-        let p2p_peers = (0..2_000)
-            .map(|_| {
-                // Random "public" peers well away from our other ranges.
-                Ipv4Addr::from(0x3A00_0000u32 + rng.random_range(0..0x00FF_FFFFu32))
-            })
-            .collect();
         let mut e = Engine {
             cfg,
-            names,
+            names: &shared.names,
             platforms,
             houses: Vec::new(),
             heap: BinaryHeap::new(),
@@ -251,10 +361,10 @@ impl<'a, S: Sink> Engine<'a, S> {
             server_rtt: LogNormal::from_median(25.0, 0.5),
             web_bytes: BoundedPareto::new(1.15, 2_000.0, 5e8),
             rate: LogNormal::from_median(12e6, 1.0),
-            p2p_peers,
+            p2p_peers: &shared.p2p_peers,
             rng,
         };
-        e.setup();
+        e.setup(span);
         e.run_loop();
         let stats = e
             .platforms
@@ -266,9 +376,9 @@ impl<'a, S: Sink> Engine<'a, S> {
 
     // ---------------- setup ----------------
 
-    fn setup(&mut self) {
+    fn setup(&mut self, span: std::ops::Range<usize>) {
         let start = Timestamp::from_secs(EPOCH_UNIX);
-        for hi in 0..self.cfg.scale.houses {
+        for hi in span {
             let house_addr = Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 77, 0, 0)) + hi as u32 + 1);
             let forwarder_only = self.rng.random_bool(self.cfg.p_house_forwarder_only);
             let opendns_house = !forwarder_only && self.rng.random_bool(self.cfg.p_house_opendns);
@@ -1158,6 +1268,88 @@ mod tests {
             // Starts are bounded by end + blocked-start slack.
             assert!(c.ts <= end + Duration::from_secs(5), "conn at {}", c.ts);
         }
+    }
+
+    #[test]
+    fn shard_spans_partition_houses() {
+        for houses in [1, 6, 24, 25, 26, 50, 99, 100, 101, 250] {
+            let spans = shard_spans(houses);
+            assert!(!spans.is_empty());
+            assert_eq!(spans[0].start, 0);
+            assert_eq!(spans.last().unwrap().end, houses);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                // Balanced: lengths differ by at most one.
+                assert!(w[0].len().abs_diff(w[1].len()) <= 1);
+            }
+            assert!(spans.iter().all(|s| s.len() <= HOUSES_PER_SHARD));
+        }
+    }
+
+    /// The headline determinism guarantee: the thread count changes only
+    /// wall-clock time, never a byte of output — logs, ground truth, and
+    /// platform stats all match between a 1-thread and an N-thread run of
+    /// a multi-shard config.
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let cfg = WorkloadConfig {
+            scale: ScaleKnobs { houses: 30, days: 0.05, activity: 1.0 },
+            services: 300,
+            shared_services: 40,
+            ..WorkloadConfig::default()
+        };
+        assert!(shard_spans(cfg.scale.houses).len() > 1, "config must span shards");
+        let seq = Simulation::new(cfg.clone(), 11).unwrap().with_threads(1).run();
+        let par = Simulation::new(cfg, 11).unwrap().with_threads(4).run();
+        assert_eq!(seq.logs.conns, par.logs.conns);
+        assert_eq!(seq.logs.dns, par.logs.dns);
+        assert_eq!(seq.platform_stats, par.platform_stats);
+        assert_eq!(seq.truth.conns.len(), par.truth.conns.len());
+        for (a, b) in seq.truth.conns.iter().zip(&par.truth.conns) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.dns_index, b.dns_index);
+            assert_eq!(a.ts, b.ts);
+        }
+        for (a, b) in seq.truth.dns.iter().zip(&par.truth.dns) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.shared_cache_hit, b.shared_cache_hit);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_pcap_bytes() {
+        let cfg = WorkloadConfig {
+            scale: ScaleKnobs { houses: 30, days: 0.02, activity: 1.0 },
+            services: 200,
+            shared_services: 30,
+            ..WorkloadConfig::default()
+        };
+        let mut seq_buf = Vec::new();
+        let mut par_buf = Vec::new();
+        Simulation::new(cfg.clone(), 3).unwrap().with_threads(1).run_pcap(&mut seq_buf, 600).unwrap();
+        Simulation::new(cfg, 3).unwrap().with_threads(4).run_pcap(&mut par_buf, 600).unwrap();
+        assert_eq!(seq_buf, par_buf, "pcap byte streams must be identical");
+    }
+
+    #[test]
+    fn sharded_run_uses_all_houses() {
+        // 30 houses across 2 shards: every house address must appear in
+        // the logs, and addresses must cover exactly the configured range.
+        let cfg = WorkloadConfig {
+            scale: ScaleKnobs { houses: 30, days: 0.05, activity: 1.0 },
+            services: 300,
+            shared_services: 40,
+            ..WorkloadConfig::default()
+        };
+        let out = Simulation::new(cfg, 42).unwrap().run();
+        let mut seen: std::collections::BTreeSet<Ipv4Addr> = std::collections::BTreeSet::new();
+        for c in &out.logs.conns {
+            seen.insert(c.id.orig_addr);
+        }
+        let expected: std::collections::BTreeSet<Ipv4Addr> = (0..30u32)
+            .map(|hi| Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 77, 0, 0)) + hi + 1))
+            .collect();
+        assert_eq!(seen, expected);
     }
 
     #[test]

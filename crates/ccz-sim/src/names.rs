@@ -2,7 +2,7 @@
 
 use crate::config::WorkloadConfig;
 use crate::dists::{weighted_index, Zipf};
-use rand::{Rng, RngExt};
+use xkit::rng::{Rng, RngExt};
 use std::net::Ipv4Addr;
 
 /// Index of a hostname in the universe.
@@ -249,8 +249,8 @@ impl NameUniverse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xkit::rng::StdRng;
+    use xkit::rng::SeedableRng;
 
     fn universe() -> NameUniverse {
         let cfg = WorkloadConfig::default();

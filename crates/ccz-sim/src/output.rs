@@ -107,6 +107,20 @@ impl LogSink {
         self.into_logs_and_dns_perm().0
     }
 
+    /// Append another sink's emissions after this one's, keeping the
+    /// uid = emission-index invariant by offsetting the absorbed uids.
+    /// This is how per-shard sinks from a parallel run are merged back
+    /// into one emission stream (in shard order, which is fixed by the
+    /// house partition, not by worker scheduling).
+    pub fn absorb(&mut self, other: LogSink) {
+        let off = self.conns.len() as u64;
+        self.conns.extend(other.conns.into_iter().map(|mut c| {
+            c.uid += off;
+            c
+        }));
+        self.dns.extend(other.dns);
+    }
+
     /// Finish into sorted logs, also returning the DNS permutation:
     /// `perm[emission_index] = sorted_index`. Emission order is only
     /// approximately time-ordered (the engine emits future-offset actions
@@ -252,6 +266,19 @@ impl PcapSink {
     /// Number of frames buffered.
     pub fn frame_count(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Append another sink's frames after this one's. Sequence numbers
+    /// are offset past ours so the final `(ts, seq)` write order stays a
+    /// total order that depends only on shard order, never on worker
+    /// scheduling.
+    pub fn absorb(&mut self, other: PcapSink) {
+        let off = self.seq;
+        self.frames.extend(other.frames.into_iter().map(|mut f| {
+            f.seq += off;
+            f
+        }));
+        self.seq += other.seq;
     }
 
     /// Sort by time and write the capture.

@@ -18,7 +18,7 @@
 use crate::config::PlatformConfig;
 use crate::dists::LogNormal;
 use crate::names::NameId;
-use rand::{Rng, RngExt};
+use xkit::rng::{Rng, RngExt};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use zeek_lite::{Duration, Timestamp};
@@ -139,8 +139,8 @@ impl ResolverPlatform {
 mod tests {
     use super::*;
     use crate::config::WorkloadConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xkit::rng::StdRng;
+    use xkit::rng::SeedableRng;
 
     fn platform(i: usize) -> ResolverPlatform {
         ResolverPlatform::new(WorkloadConfig::default().platforms[i].clone())

@@ -2,8 +2,8 @@
 
 use crate::blocking::GapAnalysis;
 use crate::classify::{
-    classify, count_classes, no_dns_breakdown, resolver_thresholds, ttl_stats, ClassCounts,
-    ConnClass, NoDnsBreakdown, ThresholdRule, TtlStats,
+    classify_parallel, count_classes, no_dns_breakdown, resolver_thresholds, ttl_stats,
+    ClassCounts, ConnClass, NoDnsBreakdown, ThresholdRule, TtlStats,
 };
 use crate::pairing::{Pairing, PairingPolicy};
 use crate::perf::{PerfAnalysis, Significance};
@@ -29,6 +29,9 @@ pub struct AnalysisConfig {
     pub significance_rel_pct: f64,
     /// Resolver-address → platform mapping.
     pub platform_map: PlatformMap,
+    /// Worker threads for the independent analysis stages (0 = one per
+    /// core). Results are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -41,6 +44,7 @@ impl Default for AnalysisConfig {
             significance_abs_ms: 20.0,
             significance_rel_pct: 1.0,
             platform_map: PlatformMap::default(),
+            threads: 0,
         }
     }
 }
@@ -59,11 +63,26 @@ pub struct Analysis<'a> {
 
 impl<'a> Analysis<'a> {
     /// Run pairing, threshold derivation, and classification.
+    ///
+    /// The pairing index and the per-resolver thresholds read disjoint
+    /// inputs, so they are built concurrently; classification then fans
+    /// out over contiguous chunks of the pairing. Every stage is a pure
+    /// function of the logs, so the thread count never changes a result.
     pub fn run(logs: &'a Logs, cfg: AnalysisConfig) -> Analysis<'a> {
-        let pairing = Pairing::build(&logs.conns, &logs.dns, cfg.policy);
-        let thresholds = resolver_thresholds(&logs.dns, cfg.threshold_rule);
+        let (pairing, thresholds) = xkit::par::join(
+            cfg.threads,
+            || Pairing::build(&logs.conns, &logs.dns, cfg.policy),
+            || resolver_thresholds(&logs.dns, cfg.threshold_rule),
+        );
         let floor = Duration::from_secs_f64(cfg.threshold_rule.floor_ms / 1e3);
-        let classes = classify(&logs.dns, &pairing, cfg.block_threshold, &thresholds, floor);
+        let classes = classify_parallel(
+            cfg.threads,
+            &logs.dns,
+            &pairing,
+            cfg.block_threshold,
+            &thresholds,
+            floor,
+        );
         Analysis { logs, cfg, pairing, classes, thresholds }
     }
 

@@ -166,27 +166,68 @@ pub fn classify(
     pairing
         .pairs
         .iter()
-        .map(|p| {
-            let Some(di) = p.dns else { return ConnClass::NoDns };
-            let gap = p.gap.expect("paired conns have gaps");
-            if gap > block_threshold {
-                if p.first_use {
-                    ConnClass::Prefetched
-                } else {
-                    ConnClass::LocalCache
-                }
-            } else {
-                let txn = &dns[di];
-                let thr = thresholds.get(&txn.resolver).copied().unwrap_or(floor);
-                let dur = txn.rtt.unwrap_or(Duration::ZERO);
-                if dur <= thr {
-                    ConnClass::SharedCache
-                } else {
-                    ConnClass::Resolution
-                }
-            }
-        })
+        .map(|p| classify_pair(p, dns, block_threshold, thresholds, floor))
         .collect()
+}
+
+/// The per-connection classification rule (paper §4): unpaired → N;
+/// gap beyond the blocking threshold → P/LC by first use; blocked →
+/// SC/R by the paired lookup's duration against its resolver threshold.
+fn classify_pair(
+    p: &crate::pairing::PairedConn,
+    dns: &[DnsTransaction],
+    block_threshold: Duration,
+    thresholds: &HashMap<Ipv4Addr, Duration>,
+    floor: Duration,
+) -> ConnClass {
+    let Some(di) = p.dns else { return ConnClass::NoDns };
+    let gap = p.gap.expect("paired conns have gaps");
+    if gap > block_threshold {
+        if p.first_use {
+            ConnClass::Prefetched
+        } else {
+            ConnClass::LocalCache
+        }
+    } else {
+        let txn = &dns[di];
+        let thr = thresholds.get(&txn.resolver).copied().unwrap_or(floor);
+        let dur = txn.rtt.unwrap_or(Duration::ZERO);
+        if dur <= thr {
+            ConnClass::SharedCache
+        } else {
+            ConnClass::Resolution
+        }
+    }
+}
+
+/// [`classify`] fanned out over worker threads: contiguous chunks of the
+/// pairing are classified independently and concatenated in order. Each
+/// pair's class is a pure function of that pair, so the result is
+/// identical to the sequential call for every thread count.
+pub fn classify_parallel(
+    threads: usize,
+    dns: &[DnsTransaction],
+    pairing: &Pairing,
+    block_threshold: Duration,
+    thresholds: &HashMap<Ipv4Addr, Duration>,
+    floor: Duration,
+) -> Vec<ConnClass> {
+    let n = pairing.pairs.len();
+    let workers = xkit::par::resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        return classify(dns, pairing, block_threshold, thresholds, floor);
+    }
+    let chunks: Vec<&[crate::pairing::PairedConn]> =
+        pairing.pairs.chunks(n.div_ceil(workers)).collect();
+    xkit::par::par_map(threads, chunks, |_, chunk| {
+        chunk
+            .iter()
+            .map(|p| classify_pair(p, dns, block_threshold, thresholds, floor))
+            .collect::<Vec<ConnClass>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Tally classes into Table 2's counts.

@@ -11,8 +11,8 @@
 //! paper used as a robustness check is available as
 //! [`PairingPolicy::RandomNonExpired`].
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use xkit::rng::StdRng;
+use xkit::rng::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use zeek_lite::{ConnRecord, DnsTransaction, Duration, Timestamp};

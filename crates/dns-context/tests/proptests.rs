@@ -1,12 +1,19 @@
-//! Property tests for the analysis pipeline: pairing and classification
-//! invariants over randomly generated logs.
+//! Randomized tests for the analysis pipeline: pairing and
+//! classification invariants over generated logs, driven by fixed
+//! `xkit::rng` streams so every run exercises the same cases.
 
 use dns_context::{classify, pairing::Pairing, Analysis, AnalysisConfig, ConnClass, PairingPolicy};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
+use xkit::rng::{RngExt, SeedableRng, StdRng};
 use zeek_lite::{
     Answer, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, Logs, Proto, Timestamp,
 };
+
+const CASES: usize = 256;
+
+fn rng(label: u64) -> StdRng {
+    StdRng::seed_from_u64(0xD5C_7387 ^ label)
+}
 
 /// A tiny world so pairings actually collide: few clients, few servers.
 fn client(i: u8) -> Ipv4Addr {
@@ -23,41 +30,30 @@ struct World {
     conns: Vec<ConnRecord>,
 }
 
-fn arb_world() -> impl Strategy<Value = World> {
-    let txns = proptest::collection::vec(
-        (0u64..600_000, any::<u8>(), any::<u8>(), 1u32..600, 1u64..60),
-        0..25,
-    );
-    let conns = proptest::collection::vec(
-        (0u64..900_000, any::<u8>(), any::<u8>(), 1u64..1_000_000),
-        0..40,
-    );
-    (txns, conns).prop_map(|(txns, conns)| {
-        let dns: Vec<DnsTransaction> = txns
-            .into_iter()
-            .enumerate()
-            .map(|(i, (ts_ms, c, s, ttl, rtt_ms))| DnsTransaction {
-                ts: Timestamp::from_millis(ts_ms),
-                client: client(c),
-                resolver: RESOLVER,
-                trans_id: i as u16,
-                query: format!("name-{}.example", s % 4),
-                qtype: dns_wire::RrType::A,
-                rcode: Some(dns_wire::Rcode::NoError),
-                rtt: Some(Duration::from_millis(rtt_ms)),
-                answers: vec![Answer::addr(server(s), ttl)],
-            })
-            .collect();
-        let conns: Vec<ConnRecord> = conns
-            .into_iter()
-            .enumerate()
-            .map(|(i, (ts_ms, c, s, bytes))| ConnRecord {
+fn gen_world(r: &mut StdRng) -> World {
+    let dns: Vec<DnsTransaction> = (0..r.random_range(0..25usize))
+        .map(|i| DnsTransaction {
+            ts: Timestamp::from_millis(r.random_range(0u64..600_000)),
+            client: client(r.random::<u8>()),
+            resolver: RESOLVER,
+            trans_id: i as u16,
+            query: format!("name-{}.example", r.random::<u8>() % 4),
+            qtype: dns_wire::RrType::A,
+            rcode: Some(dns_wire::Rcode::NoError),
+            rtt: Some(Duration::from_millis(r.random_range(1u64..60))),
+            answers: vec![Answer::addr(server(r.random::<u8>()), r.random_range(1u32..600))],
+        })
+        .collect();
+    let conns: Vec<ConnRecord> = (0..r.random_range(0..40usize))
+        .map(|i| {
+            let bytes = r.random_range(1u64..1_000_000);
+            ConnRecord {
                 uid: i as u64,
-                ts: Timestamp::from_millis(ts_ms),
+                ts: Timestamp::from_millis(r.random_range(0u64..900_000)),
                 id: FiveTuple {
-                    orig_addr: client(c),
+                    orig_addr: client(r.random::<u8>()),
                     orig_port: 40_000 + i as u16,
-                    resp_addr: server(s),
+                    resp_addr: server(r.random::<u8>()),
                     resp_port: 443,
                     proto: Proto::Tcp,
                 },
@@ -69,38 +65,38 @@ fn arb_world() -> impl Strategy<Value = World> {
                 state: ConnState::SF,
                 history: String::new(),
                 service: Some("ssl"),
-            })
-            .collect();
-        let mut logs = Logs { conns, dns, stats: Default::default() };
-        logs.sort();
-        World { dns: logs.dns, conns: logs.conns }
-    })
+            }
+        })
+        .collect();
+    let mut logs = Logs { conns, dns, stats: Default::default() };
+    logs.sort();
+    World { dns: logs.dns, conns: logs.conns }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Pairing invariants: a paired lookup completed before the conn
-    /// started, was issued by the same client, and contains the conn's
-    /// destination; under MostRecent no *newer* live candidate exists.
-    #[test]
-    fn pairing_invariants(w in arb_world()) {
+/// Pairing invariants: a paired lookup completed before the conn
+/// started, was issued by the same client, and contains the conn's
+/// destination; under MostRecent no *newer* live candidate exists.
+#[test]
+fn pairing_invariants() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let w = gen_world(&mut r);
         let p = Pairing::build(&w.conns, &w.dns, PairingPolicy::MostRecent);
-        prop_assert_eq!(p.pairs.len(), w.conns.len());
+        assert_eq!(p.pairs.len(), w.conns.len());
         for pair in &p.pairs {
             let conn = &w.conns[pair.conn];
             let Some(di) = pair.dns else {
-                prop_assert_eq!(pair.gap, None);
+                assert_eq!(pair.gap, None);
                 continue;
             };
             let txn = &w.dns[di];
             let completed = txn.completed_at().unwrap();
-            prop_assert_eq!(txn.client, conn.id.orig_addr);
-            prop_assert!(completed <= conn.ts, "lookup completed after conn start");
-            prop_assert!(txn.addrs().any(|a| a == conn.id.resp_addr));
-            prop_assert_eq!(pair.gap, Some(conn.ts.since(completed)));
+            assert_eq!(txn.client, conn.id.orig_addr);
+            assert!(completed <= conn.ts, "lookup completed after conn start");
+            assert!(txn.addrs().any(|a| a == conn.id.resp_addr));
+            assert_eq!(pair.gap, Some(conn.ts.since(completed)));
             let expired_truth = txn.expires_at().unwrap() <= conn.ts;
-            prop_assert_eq!(pair.expired, expired_truth);
+            assert_eq!(pair.expired, expired_truth);
             if !pair.expired {
                 // Most recent among live candidates: no other live lookup
                 // for this (client, addr) completed later.
@@ -108,70 +104,82 @@ proptest! {
                     if other.client == conn.id.orig_addr
                         && other.addrs().any(|a| a == conn.id.resp_addr)
                     {
-                        let (Some(oc), Some(oe)) = (other.completed_at(), other.expires_at()) else {
+                        let (Some(oc), Some(oe)) = (other.completed_at(), other.expires_at())
+                        else {
                             continue;
                         };
                         if oc <= conn.ts && oe > conn.ts {
-                            prop_assert!(oc <= completed, "a newer live candidate existed");
+                            assert!(oc <= completed, "a newer live candidate existed");
                         }
                     }
                 }
             }
         }
     }
+}
 
-    /// Exactly one first-use conn per used lookup; unused accounting adds up.
-    #[test]
-    fn first_use_is_unique(w in arb_world()) {
+/// Exactly one first-use conn per used lookup; unused accounting adds up.
+#[test]
+fn first_use_is_unique() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let w = gen_world(&mut r);
         let p = Pairing::build(&w.conns, &w.dns, PairingPolicy::MostRecent);
         let mut firsts = std::collections::HashMap::new();
         for pair in &p.pairs {
             if let Some(di) = pair.dns {
                 if pair.first_use {
-                    prop_assert!(firsts.insert(di, pair.conn).is_none(), "two first uses");
+                    assert!(firsts.insert(di, pair.conn).is_none(), "two first uses");
                 }
             }
         }
-        let used: std::collections::HashSet<_> =
-            p.pairs.iter().filter_map(|x| x.dns).collect();
-        prop_assert_eq!(firsts.len(), used.len());
+        let used: std::collections::HashSet<_> = p.pairs.iter().filter_map(|x| x.dns).collect();
+        assert_eq!(firsts.len(), used.len());
         let (unused, share) = p.unused_lookups(&w.dns);
         let eligible = w.dns.iter().filter(|t| t.has_addrs() && t.rtt.is_some()).count();
-        prop_assert_eq!(unused, eligible - used.len());
-        prop_assert!((0.0..=1.0).contains(&share));
+        assert_eq!(unused, eligible - used.len());
+        assert!((0.0..=1.0).contains(&share));
     }
+}
 
-    /// Classification is total and consistent with the blocking threshold.
-    #[test]
-    fn classification_partitions(w in arb_world()) {
+/// Classification is total and consistent with the blocking threshold.
+#[test]
+fn classification_partitions() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let w = gen_world(&mut r);
         let logs = Logs { conns: w.conns.clone(), dns: w.dns.clone(), stats: Default::default() };
         let mut cfg = AnalysisConfig::default();
         cfg.threshold_rule.min_lookups = 1;
         let a = Analysis::run(&logs, cfg.clone());
-        prop_assert_eq!(a.classes.len(), a.pairing.pairs.len());
+        assert_eq!(a.classes.len(), a.pairing.pairs.len());
         let counts = a.class_counts();
-        prop_assert_eq!(counts.total(), a.pairing.app_conn_count());
+        assert_eq!(counts.total(), a.pairing.app_conn_count());
         for (pair, class) in a.pairing.pairs.iter().zip(&a.classes) {
             match class {
-                ConnClass::NoDns => prop_assert!(pair.dns.is_none()),
+                ConnClass::NoDns => assert!(pair.dns.is_none()),
                 ConnClass::SharedCache | ConnClass::Resolution => {
-                    prop_assert!(pair.gap.unwrap() <= cfg.block_threshold);
+                    assert!(pair.gap.unwrap() <= cfg.block_threshold);
                 }
                 ConnClass::LocalCache => {
-                    prop_assert!(pair.gap.unwrap() > cfg.block_threshold);
-                    prop_assert!(!pair.first_use);
+                    assert!(pair.gap.unwrap() > cfg.block_threshold);
+                    assert!(!pair.first_use);
                 }
                 ConnClass::Prefetched => {
-                    prop_assert!(pair.gap.unwrap() > cfg.block_threshold);
-                    prop_assert!(pair.first_use);
+                    assert!(pair.gap.unwrap() > cfg.block_threshold);
+                    assert!(pair.first_use);
                 }
             }
         }
     }
+}
 
-    /// Raising the blocking threshold never decreases the blocked share.
-    #[test]
-    fn blocked_share_monotone_in_threshold(w in arb_world()) {
+/// Raising the blocking threshold never decreases the blocked share.
+#[test]
+fn blocked_share_monotone_in_threshold() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let w = gen_world(&mut r);
         let logs = Logs { conns: w.conns, dns: w.dns, stats: Default::default() };
         let mut last = -1.0f64;
         for ms in [10u64, 50, 100, 500, 5_000] {
@@ -179,14 +187,18 @@ proptest! {
             cfg.block_threshold = Duration::from_millis(ms);
             cfg.threshold_rule.min_lookups = 1;
             let share = Analysis::run(&logs, cfg).class_counts().blocked_share_pct();
-            prop_assert!(share + 1e-9 >= last, "blocked share fell: {share} < {last} at {ms}ms");
+            assert!(share + 1e-9 >= last, "blocked share fell: {share} < {last} at {ms}ms");
             last = share;
         }
     }
+}
 
-    /// Raising the SC/R duration threshold never decreases the SC count.
-    #[test]
-    fn sc_monotone_in_resolver_threshold(w in arb_world()) {
+/// Raising the SC/R duration threshold never decreases the SC count.
+#[test]
+fn sc_monotone_in_resolver_threshold() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let w = gen_world(&mut r);
         let p = Pairing::build(&w.conns, &w.dns, PairingPolicy::MostRecent);
         let mut last = -1i64;
         for floor_ms in [1u64, 5, 20, 100, 10_000] {
@@ -198,7 +210,7 @@ proptest! {
                 Duration::from_millis(floor_ms),
             );
             let sc = classify::count_classes(&classes).shared_cache as i64;
-            prop_assert!(sc >= last);
+            assert!(sc >= last);
             last = sc;
         }
     }

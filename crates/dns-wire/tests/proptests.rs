@@ -1,117 +1,147 @@
-//! Property-based tests for the DNS wire codec.
+//! Randomized tests for the DNS wire codec, driven by a fixed
+//! `xkit::rng` stream so every run exercises the same cases.
 
 use dns_wire::{Flags, Message, Name, RData, Record, RrClass, RrType, SoaData, SrvData};
-use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use xkit::rng::{RngExt, SeedableRng, StdRng};
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,20}").unwrap()
+const CASES: usize = 256;
+
+fn rng(label: u64) -> StdRng {
+    StdRng::seed_from_u64(0xD_1135 ^ label)
 }
 
-fn arb_name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(arb_label(), 0..6).prop_map(|labels| {
-        let s = labels.join(".");
-        Name::parse(&s).unwrap()
-    })
+const LABEL_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+const LABEL_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+
+fn gen_label(r: &mut StdRng) -> String {
+    let len = r.random_range(1..=21usize);
+    let mut s = String::with_capacity(len);
+    s.push(*r.choose(LABEL_FIRST).unwrap() as char);
+    for _ in 1..len {
+        s.push(*r.choose(LABEL_REST).unwrap() as char);
+    }
+    s
 }
 
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
-        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
-        arb_name().prop_map(RData::Cname),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..4)
-            .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
-                RData::Soa(SoaData { mname, rname, serial, refresh, retry, expire, minimum })
-            }),
-        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name())
-            .prop_map(|(priority, weight, port, target)| RData::Srv(SrvData { priority, weight, port, target })),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|raw| RData::Unknown(4242, raw)),
-    ]
+fn gen_name(r: &mut StdRng) -> Name {
+    let labels: Vec<String> = (0..r.random_range(0..6usize)).map(|_| gen_label(r)).collect();
+    Name::parse(&labels.join(".")).unwrap()
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
-        name,
-        class: RrClass::In,
-        ttl,
-        rdata,
-    })
+fn gen_bytes(r: &mut StdRng, max_len: usize) -> Vec<u8> {
+    (0..r.random_range(0..max_len)).map(|_| r.random::<u8>()).collect()
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        any::<u16>(),
-        proptest::collection::vec(arb_name(), 0..3),
-        proptest::collection::vec(arb_record(), 0..4),
-        proptest::collection::vec(arb_record(), 0..3),
-        proptest::collection::vec(arb_record(), 0..3),
-    )
-        .prop_map(|(id, flag_bits, qnames, answers, authorities, additionals)| Message {
-            id,
-            flags: Flags::from_u16(flag_bits & !0x0070), // clear reserved Z bits
-            questions: qnames
-                .into_iter()
-                .map(|n| dns_wire::Question::new(n, RrType::A))
-                .collect(),
-            answers,
-            authorities,
-            additionals,
-        })
+fn gen_rdata(r: &mut StdRng) -> RData {
+    match r.random_range(0..10u32) {
+        0 => RData::A(Ipv4Addr::from(r.random::<u32>())),
+        1 => {
+            let mut o = [0u8; 16];
+            o.iter_mut().for_each(|b| *b = r.random::<u8>());
+            RData::Aaaa(Ipv6Addr::from(o))
+        }
+        2 => RData::Cname(gen_name(r)),
+        3 => RData::Ns(gen_name(r)),
+        4 => RData::Ptr(gen_name(r)),
+        5 => RData::Mx(r.random::<u16>(), gen_name(r)),
+        6 => RData::Txt((0..r.random_range(0..4usize)).map(|_| gen_bytes(r, 80)).collect()),
+        7 => RData::Soa(SoaData {
+            mname: gen_name(r),
+            rname: gen_name(r),
+            serial: r.random::<u32>(),
+            refresh: r.random::<u32>(),
+            retry: r.random::<u32>(),
+            expire: r.random::<u32>(),
+            minimum: r.random::<u32>(),
+        }),
+        8 => RData::Srv(SrvData {
+            priority: r.random::<u16>(),
+            weight: r.random::<u16>(),
+            port: r.random::<u16>(),
+            target: gen_name(r),
+        }),
+        _ => RData::Unknown(4242, gen_bytes(r, 64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_record(r: &mut StdRng) -> Record {
+    Record { name: gen_name(r), class: RrClass::In, ttl: r.random::<u32>(), rdata: gen_rdata(r) }
+}
 
-    /// encode ∘ decode is the identity on well-formed messages.
-    #[test]
-    fn message_round_trips(m in arb_message()) {
+fn gen_message(r: &mut StdRng) -> Message {
+    Message {
+        id: r.random::<u16>(),
+        flags: Flags::from_u16(r.random::<u16>() & !0x0070), // clear reserved Z bits
+        questions: (0..r.random_range(0..3usize))
+            .map(|_| dns_wire::Question::new(gen_name(r), RrType::A))
+            .collect(),
+        answers: (0..r.random_range(0..4usize)).map(|_| gen_record(r)).collect(),
+        authorities: (0..r.random_range(0..3usize)).map(|_| gen_record(r)).collect(),
+        additionals: (0..r.random_range(0..3usize)).map(|_| gen_record(r)).collect(),
+    }
+}
+
+/// encode ∘ decode is the identity on well-formed messages.
+#[test]
+fn message_round_trips() {
+    let mut r = rng(1);
+    for i in 0..CASES {
+        let m = gen_message(&mut r);
         let wire = m.encode();
         let back = Message::decode(&wire).unwrap();
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {i}");
     }
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// The decoder never panics on arbitrary bytes.
+#[test]
+fn decode_never_panics() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let bytes = gen_bytes(&mut r, 300);
         let _ = Message::decode(&bytes);
     }
+}
 
-    /// Decoding a corrupted valid message never panics (and often errors).
-    #[test]
-    fn corrupted_message_never_panics(
-        m in arb_message(),
-        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
-    ) {
+/// Decoding a corrupted valid message never panics (and often errors).
+#[test]
+fn corrupted_message_never_panics() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let m = gen_message(&mut r);
         let mut wire = m.encode();
-        if wire.is_empty() { return Ok(()); }
-        for (pos, val) in flips {
-            let i = pos as usize % wire.len();
-            wire[i] ^= val;
+        if wire.is_empty() {
+            continue;
+        }
+        for _ in 0..r.random_range(1..8usize) {
+            let i = r.random::<u16>() as usize % wire.len();
+            wire[i] ^= r.random::<u8>();
         }
         let _ = Message::decode(&wire);
     }
+}
 
-    /// Name parse/display round trip; display is lower-case.
-    #[test]
-    fn name_round_trips(n in arb_name()) {
+/// Name parse/display round trip; display is lower-case.
+#[test]
+fn name_round_trips() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let n = gen_name(&mut r);
         let s = n.to_string();
         let reparsed = Name::parse(&s).unwrap();
-        prop_assert_eq!(&reparsed, &n);
-        prop_assert_eq!(s.to_ascii_lowercase(), s);
+        assert_eq!(reparsed, n);
+        assert_eq!(s.to_ascii_lowercase(), s);
     }
+}
 
-    /// Compression never changes decoded content and never grows the
-    /// message beyond its uncompressed size.
-    #[test]
-    fn compression_is_lossless_and_never_larger(names in proptest::collection::vec(arb_name(), 1..8)) {
+/// Compression never changes decoded content and never grows the
+/// message beyond its uncompressed size.
+#[test]
+fn compression_is_lossless_and_never_larger() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let names: Vec<Name> = (0..r.random_range(1..8usize)).map(|_| gen_name(&mut r)).collect();
         let mut compressed = Vec::new();
         let mut comp = std::collections::HashMap::new();
         let mut uncompressed = Vec::new();
@@ -119,26 +149,31 @@ proptest! {
             n.encode_compressed(&mut compressed, &mut comp);
             n.encode_uncompressed(&mut uncompressed);
         }
-        prop_assert!(compressed.len() <= uncompressed.len());
+        assert!(compressed.len() <= uncompressed.len());
         let mut pos = 0;
         for n in &names {
             let d = Name::decode(&compressed, &mut pos).unwrap();
-            prop_assert_eq!(&d, n);
+            assert_eq!(&d, n);
         }
-        prop_assert_eq!(pos, compressed.len());
+        assert_eq!(pos, compressed.len());
     }
+}
 
-    /// TCP framing round trips over concatenated messages.
-    #[test]
-    fn tcp_framing_round_trips(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 1..5)) {
+/// TCP framing round trips over concatenated messages.
+#[test]
+fn tcp_framing_round_trips() {
+    let mut r = rng(6);
+    for _ in 0..CASES {
+        let payloads: Vec<Vec<u8>> =
+            (0..r.random_range(1..5usize)).map(|_| gen_bytes(&mut r, 128)).collect();
         let mut stream = Vec::new();
         for p in &payloads {
             stream.extend(dns_wire::tcp_frame::frame(p));
         }
         let got = dns_wire::tcp_frame::deframe_all(&stream).unwrap();
-        prop_assert_eq!(got.len(), payloads.len());
+        assert_eq!(got.len(), payloads.len());
         for (g, p) in got.iter().zip(&payloads) {
-            prop_assert_eq!(*g, &p[..]);
+            assert_eq!(g, p);
         }
     }
 }

@@ -1,106 +1,117 @@
-//! Property tests: frame build/parse round trips and parser robustness.
+//! Randomized tests: frame build/parse round trips and parser
+//! robustness, driven by a fixed `xkit::rng` stream.
 
 use netpkt::{Frame, MacAddr, Packet, PktError, TcpFlags, TcpHeader, Transport};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
+use xkit::rng::{RngExt, SeedableRng, StdRng};
 
-fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
-    any::<[u8; 4]>().prop_map(Ipv4Addr::from)
+const CASES: usize = 256;
+
+fn rng(label: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9E7_0941 ^ label)
 }
 
-fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-    (0u8..64).prop_map(TcpFlags::from_u8)
+fn gen_addr(r: &mut StdRng) -> Ipv4Addr {
+    Ipv4Addr::from(r.random::<u32>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_bytes(r: &mut StdRng, max_len: usize) -> Vec<u8> {
+    (0..r.random_range(0..max_len)).map(|_| r.random::<u8>()).collect()
+}
 
-    /// UDP frames round-trip: ports, addresses, payload, declared length.
-    #[test]
-    fn udp_round_trips(
-        src in arb_addr(),
-        dst in arb_addr(),
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+/// UDP frames round-trip: ports, addresses, payload, declared length.
+#[test]
+fn udp_round_trips() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let (src, dst) = (gen_addr(&mut r), gen_addr(&mut r));
+        let (sport, dport) = (r.random::<u16>(), r.random::<u16>());
+        let payload = gen_bytes(&mut r, 256);
         let f = Frame::udp(MacAddr::LOCAL, MacAddr::UPSTREAM, src, dst, sport, dport, &payload);
         let bytes = f.encode();
-        prop_assert_eq!(f.wire_len(), bytes.len());
+        assert_eq!(f.wire_len(), bytes.len());
         let p = Packet::parse(&bytes, bytes.len()).unwrap();
-        prop_assert_eq!(p.ip.src, src);
-        prop_assert_eq!(p.ip.dst, dst);
-        prop_assert_eq!(p.transport.src_port(), Some(sport));
-        prop_assert_eq!(p.transport.dst_port(), Some(dport));
-        prop_assert_eq!(p.payload, &payload[..]);
-        prop_assert_eq!(p.declared_payload, payload.len());
+        assert_eq!(p.ip.src, src);
+        assert_eq!(p.ip.dst, dst);
+        assert_eq!(p.transport.src_port(), Some(sport));
+        assert_eq!(p.transport.dst_port(), Some(dport));
+        assert_eq!(p.payload, &payload[..]);
+        assert_eq!(p.declared_payload, payload.len());
     }
+}
 
-    /// Virtual UDP frames declare exactly what they claim.
-    #[test]
-    fn udp_virtual_declares(
-        src in arb_addr(),
-        dst in arb_addr(),
-        declared in 0usize..60_000,
-    ) {
+/// Virtual UDP frames declare exactly what they claim.
+#[test]
+fn udp_virtual_declares() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let (src, dst) = (gen_addr(&mut r), gen_addr(&mut r));
+        let declared = r.random_range(0usize..60_000);
         let f = Frame::udp_virtual(MacAddr::LOCAL, MacAddr::UPSTREAM, src, dst, 1, 2, declared);
         let bytes = f.encode();
-        prop_assert_eq!(f.wire_len(), bytes.len() + declared);
+        assert_eq!(f.wire_len(), bytes.len() + declared);
         let p = Packet::parse(&bytes, f.wire_len()).unwrap();
-        prop_assert_eq!(p.declared_payload, declared);
-        prop_assert_eq!(p.payload.len(), 0);
+        assert_eq!(p.declared_payload, declared);
+        assert_eq!(p.payload.len(), 0);
     }
+}
 
-    /// TCP frames round-trip header fields exactly.
-    #[test]
-    fn tcp_round_trips(
-        src in arb_addr(),
-        dst in arb_addr(),
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        flags in arb_flags(),
-        payload in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
+/// TCP frames round-trip header fields exactly.
+#[test]
+fn tcp_round_trips() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let (src, dst) = (gen_addr(&mut r), gen_addr(&mut r));
+        let (sport, dport) = (r.random::<u16>(), r.random::<u16>());
+        let (seq, ack) = (r.random::<u32>(), r.random::<u32>());
+        let flags = TcpFlags::from_u8(r.random_range(0u8..64));
+        let payload = gen_bytes(&mut r, 128);
         let h = TcpHeader::segment(sport, dport, seq, ack, flags);
         let f = Frame::tcp(MacAddr::LOCAL, MacAddr::UPSTREAM, src, dst, h.clone(), &payload);
         let bytes = f.encode();
         let p = Packet::parse(&bytes, bytes.len()).unwrap();
         match p.transport {
             Transport::Tcp(t) => {
-                prop_assert_eq!(t.seq, seq);
-                prop_assert_eq!(t.ack, ack);
-                prop_assert_eq!(t.flags, flags);
-                prop_assert_eq!(t.src_port, sport);
+                assert_eq!(t.seq, seq);
+                assert_eq!(t.ack, ack);
+                assert_eq!(t.flags, flags);
+                assert_eq!(t.src_port, sport);
             }
-            other => prop_assert!(false, "expected tcp, got {other:?}"),
+            other => panic!("expected tcp, got {other:?}"),
         }
-        prop_assert_eq!(p.payload, &payload[..]);
+        assert_eq!(p.payload, &payload[..]);
     }
+}
 
-    /// The parser never panics on arbitrary bytes.
-    #[test]
-    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// The parser never panics on arbitrary bytes.
+#[test]
+fn parse_never_panics() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let bytes = gen_bytes(&mut r, 200);
         let _ = Packet::parse(&bytes, bytes.len().max(1));
     }
+}
 
-    /// Corrupting one byte of a valid frame either still parses or errors
-    /// cleanly (commonly a checksum failure) — never panics.
-    #[test]
-    fn corruption_is_detected_or_tolerated(
-        payload in proptest::collection::vec(any::<u8>(), 0..64),
-        pos in any::<u16>(),
-        xor in 1u8..=255,
-    ) {
+/// Corrupting one byte of a valid frame either still parses or errors
+/// cleanly (commonly a checksum failure) — never panics.
+#[test]
+fn corruption_is_detected_or_tolerated() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let payload = gen_bytes(&mut r, 64);
         let f = Frame::udp(
-            MacAddr::LOCAL, MacAddr::UPSTREAM,
-            Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2),
-            1000, 2000, &payload,
+            MacAddr::LOCAL,
+            MacAddr::UPSTREAM,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            2000,
+            &payload,
         );
         let mut bytes = f.encode();
-        let i = pos as usize % bytes.len();
-        bytes[i] ^= xor;
+        let i = r.random::<u16>() as usize % bytes.len();
+        bytes[i] ^= r.random_range(1u8..=255);
         match Packet::parse(&bytes, bytes.len()) {
             Ok(_) => {}
             Err(PktError::BadChecksum { .. })
@@ -113,17 +124,21 @@ proptest! {
             | Err(PktError::BadDataOffset(_)) => {}
         }
     }
+}
 
-    /// Truncated captures fail cleanly at every cut point.
-    #[test]
-    fn truncation_never_panics(cut in 0usize..100) {
-        let f = Frame::tcp(
-            MacAddr::LOCAL, MacAddr::UPSTREAM,
-            Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2),
-            TcpHeader::syn(1, 2, 3), b"data",
-        );
-        let bytes = f.encode();
-        let cut = cut.min(bytes.len());
+/// Truncated captures fail cleanly at every cut point.
+#[test]
+fn truncation_never_panics() {
+    let f = Frame::tcp(
+        MacAddr::LOCAL,
+        MacAddr::UPSTREAM,
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        TcpHeader::syn(1, 2, 3),
+        b"data",
+    );
+    let bytes = f.encode();
+    for cut in 0..=bytes.len() {
         let _ = Packet::parse(&bytes[..cut], bytes.len());
     }
 }

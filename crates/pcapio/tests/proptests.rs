@@ -1,7 +1,14 @@
-//! Property tests: capture files round-trip and the reader survives fuzz.
+//! Randomized tests: capture files round-trip and the reader survives
+//! fuzz, driven by a fixed `xkit::rng` stream.
 
 use pcapio::{PcapReader, PcapWriter, TsPrecision, GLOBAL_HEADER_LEN};
-use proptest::prelude::*;
+use xkit::rng::{RngExt, SeedableRng, StdRng};
+
+const CASES: usize = 128;
+
+fn rng(label: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9CA9_10 ^ label)
+}
 
 #[derive(Debug, Clone)]
 struct Rec {
@@ -10,105 +17,124 @@ struct Rec {
     extra_wire: u16,
 }
 
-fn arb_rec() -> impl Strategy<Value = Rec> {
-    (
-        0u64..u32::MAX as u64 * 1_000_000_000,
-        proptest::collection::vec(any::<u8>(), 0..200),
-        any::<u16>(),
-    )
-        .prop_map(|(ts_nanos, data, extra_wire)| Rec { ts_nanos, data, extra_wire })
+fn gen_rec(r: &mut StdRng) -> Rec {
+    Rec {
+        ts_nanos: r.random_range(0..u32::MAX as u64 * 1_000_000_000),
+        data: (0..r.random_range(0..200usize)).map(|_| r.random::<u8>()).collect(),
+        extra_wire: r.random::<u16>(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_recs(r: &mut StdRng, min: usize, max: usize) -> Vec<Rec> {
+    (0..r.random_range(min..max)).map(|_| gen_rec(r)).collect()
+}
 
-    /// Write-then-read returns every record exactly (nanosecond files).
-    #[test]
-    fn nano_round_trip(recs in proptest::collection::vec(arb_rec(), 0..40)) {
+/// Write-then-read returns every record exactly (nanosecond files).
+#[test]
+fn nano_round_trip() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let recs = gen_recs(&mut r, 0, 40);
         let mut buf = Vec::new();
         let mut w = PcapWriter::new(&mut buf, 65_535, TsPrecision::Nano).unwrap();
-        for r in &recs {
-            let orig = (r.data.len() + r.extra_wire as usize) as u32;
-            w.write_packet(r.ts_nanos, &r.data, Some(orig)).unwrap();
+        for rec in &recs {
+            let orig = (rec.data.len() + rec.extra_wire as usize) as u32;
+            w.write_packet(rec.ts_nanos, &rec.data, Some(orig)).unwrap();
         }
         drop(w);
-        let got: Vec<_> = PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
-        prop_assert_eq!(got.len(), recs.len());
-        for (g, r) in got.iter().zip(&recs) {
-            prop_assert_eq!(g.ts_nanos, r.ts_nanos);
-            prop_assert_eq!(&g.data, &r.data);
-            prop_assert_eq!(g.orig_len as usize, r.data.len() + r.extra_wire as usize);
+        let got: Vec<_> =
+            PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), recs.len());
+        for (g, rec) in got.iter().zip(&recs) {
+            assert_eq!(g.ts_nanos, rec.ts_nanos);
+            assert_eq!(&g.data, &rec.data);
+            assert_eq!(g.orig_len as usize, rec.data.len() + rec.extra_wire as usize);
         }
     }
+}
 
-    /// Microsecond files lose only sub-microsecond precision.
-    #[test]
-    fn micro_rounds_to_microseconds(recs in proptest::collection::vec(arb_rec(), 1..20)) {
+/// Microsecond files lose only sub-microsecond precision.
+#[test]
+fn micro_rounds_to_microseconds() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let recs = gen_recs(&mut r, 1, 20);
         let mut buf = Vec::new();
         let mut w = PcapWriter::new(&mut buf, 65_535, TsPrecision::Micro).unwrap();
-        for r in &recs {
-            w.write_packet(r.ts_nanos, &r.data, None).unwrap();
+        for rec in &recs {
+            w.write_packet(rec.ts_nanos, &rec.data, None).unwrap();
         }
         drop(w);
-        let got: Vec<_> = PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
-        for (g, r) in got.iter().zip(&recs) {
-            prop_assert_eq!(g.ts_nanos, r.ts_nanos / 1_000 * 1_000);
+        let got: Vec<_> =
+            PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        for (g, rec) in got.iter().zip(&recs) {
+            assert_eq!(g.ts_nanos, rec.ts_nanos / 1_000 * 1_000);
         }
     }
+}
 
-    /// Snaplen truncation keeps the prefix and the true wire length.
-    #[test]
-    fn snaplen_truncation(data in proptest::collection::vec(any::<u8>(), 0..300), snaplen in 1u32..128) {
+/// Snaplen truncation keeps the prefix and the true wire length.
+#[test]
+fn snaplen_truncation() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let data: Vec<u8> = (0..r.random_range(0..300usize)).map(|_| r.random::<u8>()).collect();
+        let snaplen = r.random_range(1u32..128);
         let mut buf = Vec::new();
         let mut w = PcapWriter::new(&mut buf, snaplen, TsPrecision::Nano).unwrap();
         w.write_packet(7, &data, None).unwrap();
         drop(w);
         let rec = PcapReader::new(&buf[..]).unwrap().next_packet().unwrap().unwrap();
         let expect = data.len().min(snaplen as usize);
-        prop_assert_eq!(&rec.data, &data[..expect]);
-        prop_assert_eq!(rec.orig_len as usize, data.len());
+        assert_eq!(&rec.data, &data[..expect]);
+        assert_eq!(rec.orig_len as usize, data.len());
     }
+}
 
-    /// The reader never panics on arbitrary bytes.
-    #[test]
-    fn reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
-        if let Ok(r) = PcapReader::new(&bytes[..]) {
+/// The reader never panics on arbitrary bytes.
+#[test]
+fn reader_never_panics() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let bytes: Vec<u8> = (0..r.random_range(0..400usize)).map(|_| r.random::<u8>()).collect();
+        if let Ok(rd) = PcapReader::new(&bytes[..]) {
             // Bounded: each iteration consumes ≥16 bytes or errors.
-            for rec in r.records().take(64) {
+            for rec in rd.records().take(64) {
                 if rec.is_err() {
                     break;
                 }
             }
         }
     }
+}
 
-    /// A capture truncated anywhere reads back a prefix of the records,
-    /// then errors or ends — never panics, never fabricates data.
-    #[test]
-    fn truncated_capture_degrades_cleanly(cut in 0usize..2_000) {
-        let mut buf = Vec::new();
-        let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
-        for i in 0..20u64 {
-            w.write_packet(i, &[i as u8; 32], None).unwrap();
-        }
-        drop(w);
-        let cut = cut.min(buf.len());
+/// A capture truncated anywhere reads back a prefix of the records,
+/// then errors or ends — never panics, never fabricates data.
+#[test]
+fn truncated_capture_degrades_cleanly() {
+    let mut buf = Vec::new();
+    let mut w = PcapWriter::new(&mut buf, 96, TsPrecision::Nano).unwrap();
+    for i in 0..20u64 {
+        w.write_packet(i, &[i as u8; 32], None).unwrap();
+    }
+    drop(w);
+    for cut in 0..=buf.len() {
         if cut < GLOBAL_HEADER_LEN {
-            prop_assert!(PcapReader::new(&buf[..cut]).is_err());
-            return Ok(());
+            assert!(PcapReader::new(&buf[..cut]).is_err());
+            continue;
         }
         let r = PcapReader::new(&buf[..cut]).unwrap();
         let mut i = 0u64;
         for rec in r.records() {
             match rec {
                 Ok(rec) => {
-                    prop_assert_eq!(rec.ts_nanos, i);
-                    prop_assert_eq!(rec.data, vec![i as u8; 32]);
+                    assert_eq!(rec.ts_nanos, i);
+                    assert_eq!(rec.data, vec![i as u8; 32]);
                     i += 1;
                 }
                 Err(_) => break,
             }
         }
-        prop_assert!(i <= 20);
+        assert!(i <= 20);
     }
 }

@@ -1,0 +1,22 @@
+//! Zero-dependency runtime kit for the DNS-in-context workspace.
+//!
+//! Three small subsystems replace every external crate the workspace used
+//! to pull from the registry:
+//!
+//! * [`rng`] — a seeded SplitMix64/Xoshiro256++ PRNG with the
+//!   `Rng`/`RngExt`/`StdRng`/`SeedableRng` surface the simulator and the
+//!   pairing layer previously took from `rand`, plus deterministic
+//!   per-shard stream splitting ([`rng::StdRng::split`]) so parallel runs
+//!   stay bit-reproducible at a fixed seed.
+//! * [`par`] — scoped worker-pool helpers over `std::thread::scope` and
+//!   `std::sync::Mutex`, replacing `crossbeam` + `parking_lot`.
+//! * [`bench`] — a lightweight Criterion replacement (warmup, sampled
+//!   iterations, median/p95, JSON baseline emit) so the bench targets run
+//!   offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod par;
+pub mod rng;

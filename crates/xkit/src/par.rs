@@ -1,0 +1,164 @@
+//! Scoped worker pools over `std::thread::scope` + `std::sync::Mutex`.
+//!
+//! The helpers here preserve *input order* in their outputs no matter how
+//! the work is scheduled across threads, so a parallel run is observably
+//! identical to a sequential one — the property every determinism test in
+//! the workspace leans on.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads the machine can usefully run.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolve a `--threads` style request: `0` means "use all cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order.
+///
+/// `f` receives `(index, item)`. Work is dealt from a shared queue, so
+/// uneven item costs balance automatically; results land by index, so the
+/// output never depends on scheduling. `threads <= 1` degrades to a plain
+/// sequential map with no thread spawns.
+pub fn par_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((i, item)) = job else { break };
+                let out = f(i, item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+/// [`par_map`] over the index range `0..count`.
+pub fn par_indexed<U, F>(threads: usize, count: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map(threads, (0..count).collect(), |_, i| f(i))
+}
+
+/// Sharded map-reduce: map every item on the pool, then fold the results
+/// sequentially *in input order* (so non-commutative folds are safe).
+pub fn par_reduce<T, U, A, F, G>(threads: usize, items: Vec<T>, map: F, init: A, fold: G) -> A
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+    G: FnMut(A, U) -> A,
+{
+    par_map(threads, items, map).into_iter().fold(init, fold)
+}
+
+/// Run two independent closures on separate threads and return both
+/// results. Degrades to sequential calls when `threads <= 1`.
+pub fn join<A, B, FA, FB>(threads: usize, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if resolve_threads(threads) <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        (a, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(threads, items.clone(), |_, x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_indices() {
+        let got = par_map(4, vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(8, Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(par_map(8, vec![5], |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        let seen = AtomicUsize::new(0);
+        let _ = par_indexed(4, 100, |i| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn par_reduce_folds_in_input_order() {
+        let s = par_reduce(
+            4,
+            (0..10).collect::<Vec<u32>>(),
+            |_, x| x.to_string(),
+            String::new(),
+            |acc, x| acc + &x,
+        );
+        assert_eq!(s, "0123456789");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        for threads in [1, 2] {
+            let (a, b) = join(threads, || 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn zero_means_all_cores() {
+        assert_eq!(resolve_threads(0), available_threads());
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,58 +1,41 @@
-//! Property tests for the monitor layer: TSV logs round-trip arbitrary
-//! records, the tracker's byte accounting is permutation-safe, and the
-//! monitor survives arbitrary input frames.
+//! Randomized tests for the monitor layer: TSV logs round-trip
+//! arbitrary records, windowing partitions cleanly, and the monitor
+//! survives arbitrary input frames. Cases come from fixed `xkit::rng`
+//! streams so every run exercises the same inputs.
 
 use dns_wire::{Rcode, RrType};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
+use xkit::rng::{RngExt, SeedableRng, StdRng};
 use zeek_lite::{
     logfmt, Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple,
     Monitor, MonitorConfig, Proto, Timestamp,
 };
 
-fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
-    any::<[u8; 4]>().prop_map(Ipv4Addr::from)
+const CASES: usize = 128;
+
+fn rng(label: u64) -> StdRng {
+    StdRng::seed_from_u64(0x2EE_C11 ^ label)
 }
 
-fn arb_state() -> impl Strategy<Value = ConnState> {
-    prop_oneof![
-        Just(ConnState::S0),
-        Just(ConnState::S1),
-        Just(ConnState::SF),
-        Just(ConnState::Rej),
-        Just(ConnState::RstO),
-        Just(ConnState::RstR),
-        Just(ConnState::Oth),
-    ]
+fn gen_addr(r: &mut StdRng) -> Ipv4Addr {
+    Ipv4Addr::from(r.random::<u32>())
 }
 
-fn arb_conn() -> impl Strategy<Value = ConnRecord> {
-    (
-        any::<u64>(),
-        0u64..u32::MAX as u64,
-        (arb_addr(), any::<u16>(), arb_addr(), any::<u16>(), any::<bool>()),
-        0u64..1u64 << 40,
-        0u64..1u64 << 40,
-        (0u64..1_000_000, 0u64..1_000_000),
-        arb_state(),
-        proptest::string::string_regex("[ShAaDdFfRr]{0,8}").unwrap(),
-    )
-        .prop_map(|(uid, ts_ms, (oa, op, ra, rp, tcp), ob, rb, (opk, rpk), state, history)| {
-            let proto = if tcp { Proto::Tcp } else { Proto::Udp };
-            ConnRecord {
-                uid,
-                ts: Timestamp::from_millis(ts_ms),
-                id: FiveTuple { orig_addr: oa, orig_port: op, resp_addr: ra, resp_port: rp, proto },
-                duration: Duration::from_millis(ts_ms % 100_000),
-                orig_bytes: ob,
-                resp_bytes: rb,
-                orig_pkts: opk,
-                resp_pkts: rpk,
-                state,
-                history,
-                service: zeek_lite_service(proto, rp),
-            }
-        })
+fn gen_string(r: &mut StdRng, charset: &[u8], min: usize, max: usize) -> String {
+    (0..r.random_range(min..=max)).map(|_| *r.choose(charset).unwrap() as char).collect()
+}
+
+fn gen_state(r: &mut StdRng) -> ConnState {
+    *r.choose(&[
+        ConnState::S0,
+        ConnState::S1,
+        ConnState::SF,
+        ConnState::Rej,
+        ConnState::RstO,
+        ConnState::RstR,
+        ConnState::Oth,
+    ])
+    .unwrap()
 }
 
 // Mirror of the monitor's port map (the log reader re-derives service).
@@ -71,105 +54,158 @@ fn zeek_lite_service(proto: Proto, port: u16) -> Option<&'static str> {
     }
 }
 
-fn arb_answer() -> impl Strategy<Value = Answer> {
-    (
-        prop_oneof![
-            arb_addr().prop_map(AnswerData::Addr),
-            proptest::string::string_regex("[a-z0-9-]{1,12}(\\.[a-z0-9-]{1,12}){1,3}")
-                .unwrap()
-                .prop_map(AnswerData::Cname),
-            proptest::string::string_regex("[A-Z]{1,6}").unwrap().prop_map(AnswerData::Other),
-        ],
-        any::<u32>(),
-    )
-        .prop_map(|(data, ttl)| Answer { data, ttl })
+fn gen_conn(r: &mut StdRng) -> ConnRecord {
+    let proto = if r.random::<bool>() { Proto::Tcp } else { Proto::Udp };
+    let ts_ms = r.random_range(0..u32::MAX as u64);
+    let resp_port = r.random::<u16>();
+    ConnRecord {
+        uid: r.random::<u64>(),
+        ts: Timestamp::from_millis(ts_ms),
+        id: FiveTuple {
+            orig_addr: gen_addr(r),
+            orig_port: r.random::<u16>(),
+            resp_addr: gen_addr(r),
+            resp_port,
+            proto,
+        },
+        duration: Duration::from_millis(ts_ms % 100_000),
+        orig_bytes: r.random_range(0..1u64 << 40),
+        resp_bytes: r.random_range(0..1u64 << 40),
+        orig_pkts: r.random_range(0u64..1_000_000),
+        resp_pkts: r.random_range(0u64..1_000_000),
+        state: gen_state(r),
+        history: gen_string(r, b"ShAaDdFfRr", 0, 8),
+        service: zeek_lite_service(proto, resp_port),
+    }
 }
 
-fn arb_dns() -> impl Strategy<Value = DnsTransaction> {
-    (
-        0u64..u32::MAX as u64,
-        arb_addr(),
-        arb_addr(),
-        any::<u16>(),
-        proptest::string::string_regex("[a-z0-9_-]{1,16}(\\.[a-z0-9_-]{1,10}){0,3}").unwrap(),
-        proptest::option::of((0u64..60_000u64, 0u8..6)),
-        proptest::collection::vec(arb_answer(), 0..5),
-    )
-        .prop_map(|(ts_ms, client, resolver, trans_id, query, answered, answers)| {
-            let (rtt, rcode, answers) = match answered {
-                Some((rtt_us, rc)) => (
-                    Some(Duration::from_micros(rtt_us)),
-                    Some(Rcode::from_u8(rc)),
-                    answers,
-                ),
-                None => (None, None, Vec::new()),
-            };
-            DnsTransaction {
-                ts: Timestamp::from_millis(ts_ms),
-                client,
-                resolver,
-                trans_id,
-                query,
-                qtype: RrType::A,
-                rcode,
-                rtt,
-                answers,
-            }
-        })
+fn gen_answer(r: &mut StdRng) -> Answer {
+    let data = match r.random_range(0..3u32) {
+        0 => AnswerData::Addr(gen_addr(r)),
+        1 => {
+            let labels: Vec<String> = (0..r.random_range(2..=4usize))
+                .map(|_| gen_string(r, b"abcdefghijklmnopqrstuvwxyz0123456789-", 1, 12))
+                .collect();
+            AnswerData::Cname(labels.join("."))
+        }
+        _ => AnswerData::Other(gen_string(r, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 6)),
+    };
+    Answer { data, ttl: r.random::<u32>() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_dns(r: &mut StdRng) -> DnsTransaction {
+    let labels: Vec<String> = std::iter::once(gen_string(r, b"abcdefghijklmnopqrstuvwxyz0123456789_-", 1, 16))
+        .chain(
+            (0..r.random_range(0..=3usize))
+                .map(|_| gen_string(r, b"abcdefghijklmnopqrstuvwxyz0123456789_-", 1, 10)),
+        )
+        .collect();
+    let answered = r.random::<bool>();
+    let (rtt, rcode, answers) = if answered {
+        (
+            Some(Duration::from_micros(r.random_range(0u64..60_000))),
+            Some(Rcode::from_u8(r.random_range(0u8..6))),
+            (0..r.random_range(0..5usize)).map(|_| gen_answer(r)).collect(),
+        )
+    } else {
+        (None, None, Vec::new())
+    };
+    DnsTransaction {
+        ts: Timestamp::from_millis(r.random_range(0..u32::MAX as u64)),
+        client: gen_addr(r),
+        resolver: gen_addr(r),
+        trans_id: r.random::<u16>(),
+        query: labels.join("."),
+        qtype: RrType::A,
+        rcode,
+        rtt,
+        answers,
+    }
+}
 
-    /// conn.log round-trips arbitrary records exactly.
-    #[test]
-    fn conn_log_round_trips(conns in proptest::collection::vec(arb_conn(), 0..30)) {
+/// conn.log round-trips arbitrary records exactly.
+#[test]
+fn conn_log_round_trips() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let conns: Vec<ConnRecord> =
+            (0..r.random_range(0..30usize)).map(|_| gen_conn(&mut r)).collect();
         let mut buf = Vec::new();
         logfmt::write_conn_log(&mut buf, &conns).unwrap();
         let back = logfmt::read_conn_log(&buf[..]).unwrap();
-        prop_assert_eq!(back, conns);
+        assert_eq!(back, conns);
     }
+}
 
-    /// dns.log round-trips arbitrary records exactly.
-    #[test]
-    fn dns_log_round_trips(txns in proptest::collection::vec(arb_dns(), 0..30)) {
+/// dns.log round-trips arbitrary records exactly.
+#[test]
+fn dns_log_round_trips() {
+    let mut r = rng(2);
+    for _ in 0..CASES {
+        let txns: Vec<DnsTransaction> =
+            (0..r.random_range(0..30usize)).map(|_| gen_dns(&mut r)).collect();
         let mut buf = Vec::new();
         logfmt::write_dns_log(&mut buf, &txns).unwrap();
         let back = logfmt::read_dns_log(&buf[..]).unwrap();
-        prop_assert_eq!(back, txns);
+        assert_eq!(back, txns);
     }
+}
 
-    /// The log reader never panics on arbitrary text.
-    #[test]
-    fn log_reader_never_panics(text in "\\PC{0,400}") {
+/// The log reader never panics on arbitrary printable text.
+#[test]
+fn log_reader_never_panics() {
+    let mut r = rng(3);
+    // Printable ASCII plus a few multi-byte characters; no control chars
+    // beyond the newlines we insert ourselves.
+    let pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).chain(['é', 'λ', '中', '\u{2028}']).collect();
+    for _ in 0..CASES {
+        let mut text: String =
+            (0..r.random_range(0..400usize)).map(|_| *r.choose(&pool).unwrap()).collect();
+        // Sprinkle line breaks so multi-line parsing paths run too.
+        if text.len() > 40 {
+            let cut = r.random_range(1..text.len());
+            if text.is_char_boundary(cut) {
+                text.insert(cut, '\n');
+            }
+        }
         let _ = logfmt::read_conn_log(text.as_bytes());
         let _ = logfmt::read_dns_log(text.as_bytes());
     }
+}
 
-    /// The monitor never panics on arbitrary frames.
-    #[test]
-    fn monitor_survives_fuzz_frames(
-        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..120), 0..30)
-    ) {
+/// The monitor never panics on arbitrary frames.
+#[test]
+fn monitor_survives_fuzz_frames() {
+    let mut r = rng(4);
+    for _ in 0..CASES {
+        let frames: Vec<Vec<u8>> = (0..r.random_range(0..30usize))
+            .map(|_| (0..r.random_range(0..120usize)).map(|_| r.random::<u8>()).collect())
+            .collect();
         let mut m = Monitor::new(MonitorConfig::default());
         for (i, f) in frames.iter().enumerate() {
             m.handle_frame(Timestamp::from_millis(i as u64), f, f.len().max(1) as u32);
         }
         let logs = m.finish();
-        prop_assert_eq!(logs.stats.packets as usize, frames.len());
+        assert_eq!(logs.stats.packets as usize, frames.len());
     }
+}
 
-    /// Logs::window returns exactly the in-range records and merge+sort
-    /// is permutation-invariant on conn timestamps.
-    #[test]
-    fn window_selects_in_range(conns in proptest::collection::vec(arb_conn(), 0..40), cut_ms in 0u64..u32::MAX as u64) {
+/// Logs::window returns exactly the in-range records and merge+sort
+/// is permutation-invariant on conn timestamps.
+#[test]
+fn window_selects_in_range() {
+    let mut r = rng(5);
+    for _ in 0..CASES {
+        let conns: Vec<ConnRecord> =
+            (0..r.random_range(0..40usize)).map(|_| gen_conn(&mut r)).collect();
+        let cut_ms = r.random_range(0..u32::MAX as u64);
         let mut logs = zeek_lite::Logs { conns, dns: vec![], stats: Default::default() };
         logs.sort();
         let cut = Timestamp::from_millis(cut_ms);
         let early = logs.window(Timestamp::ZERO, cut);
         let late = logs.window(cut, Timestamp(u64::MAX));
-        prop_assert_eq!(early.conns.len() + late.conns.len(), logs.conns.len());
-        prop_assert!(early.conns.iter().all(|c| c.ts < cut));
-        prop_assert!(late.conns.iter().all(|c| c.ts >= cut));
+        assert_eq!(early.conns.len() + late.conns.len(), logs.conns.len());
+        assert!(early.conns.iter().all(|c| c.ts < cut));
+        assert!(late.conns.iter().all(|c| c.ts >= cut));
     }
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate: offline build + tests, then verify the workspace is
+# genuinely zero-dependency (no external crates in any manifest).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== dependency deny-list =="
+# The workspace must not declare any of the old external crates.
+if grep -rn "^rand\|^criterion\|^proptest\|^crossbeam\|^parking_lot" \
+    */Cargo.toml crates/*/Cargo.toml Cargo.toml 2>/dev/null; then
+    echo "FAIL: external dependency declared above" >&2
+    exit 1
+fi
+echo "clean: no external dependencies declared"
+
+echo "== verify OK =="

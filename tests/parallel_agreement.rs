@@ -1,0 +1,69 @@
+//! Throughput smoke test for the zero-dependency parallel runtime: at
+//! the reproduction workload shape (100 houses, activity 0.01) the
+//! sharded simulation plus concurrent analysis must produce *exactly*
+//! the sequential results — identical logs, pairing outcomes, and
+//! Table 2 class counts — for every thread count.
+
+use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::dns_context::{Analysis, AnalysisConfig};
+
+fn smoke_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        // 100 houses so the simulation actually splits into shards;
+        // activity 0.01 keeps the workload a quick smoke run.
+        scale: ScaleKnobs { houses: 100, days: 1.0, activity: 0.01 },
+        ..WorkloadConfig::default()
+    }
+}
+
+fn acfg(threads: usize) -> AnalysisConfig {
+    let mut cfg = AnalysisConfig::default();
+    // The smoke workload has too few lookups per resolver for the
+    // default threshold gate; lower it so SC/R classification engages.
+    cfg.threshold_rule.min_lookups = 20;
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn parallel_pipeline_matches_sequential() {
+    let seed = 42;
+    let seq_out = Simulation::new(smoke_cfg(), seed).unwrap().with_threads(1).run();
+    let par_out = Simulation::new(smoke_cfg(), seed).unwrap().with_threads(4).run();
+
+    // The sharded simulation must emit byte-for-byte identical logs.
+    assert_eq!(seq_out.logs.conns, par_out.logs.conns);
+    assert_eq!(seq_out.logs.dns, par_out.logs.dns);
+
+    let seq = Analysis::run(&seq_out.logs, acfg(1));
+    let par = Analysis::run(&par_out.logs, acfg(4));
+
+    // Pairing outcomes agree pair-for-pair.
+    assert_eq!(seq.pairing.pairs.len(), par.pairing.pairs.len());
+    assert!(
+        seq.pairing.pairs.iter().zip(&par.pairing.pairs).all(|(a, b)| a == b),
+        "pairing diverged between thread counts"
+    );
+    assert_eq!(seq.thresholds, par.thresholds);
+
+    // Per-connection classes and the Table 2 counts agree exactly.
+    assert_eq!(seq.classes, par.classes);
+    assert_eq!(seq.class_counts(), par.class_counts());
+
+    // Sanity: the smoke run is big enough to mean something.
+    let counts = seq.class_counts();
+    assert!(counts.total() > 1_000, "smoke run too small: {} conns", counts.total());
+}
+
+#[test]
+fn oversubscribed_thread_count_is_harmless() {
+    // More workers than shards (and than cores) must change nothing.
+    let seed = 7;
+    let a = Simulation::new(smoke_cfg(), seed).unwrap().with_threads(64).run();
+    let b = Simulation::new(smoke_cfg(), seed).unwrap().with_threads(0).run();
+    assert_eq!(a.logs.conns, b.logs.conns);
+    assert_eq!(a.logs.dns, b.logs.dns);
+    let ca = Analysis::run(&a.logs, acfg(64)).class_counts();
+    let cb = Analysis::run(&b.logs, acfg(0)).class_counts();
+    assert_eq!(ca, cb);
+}
