@@ -10,7 +10,14 @@
 //!
 //! Experiments: `table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7
 //! sec8 diurnal houses ablate-threshold ablate-pairing ablate-scr bench
-//! all`.
+//! fuzz all`.
+//!
+//! `fuzz` sweeps deterministic fault rates (drop/truncate/bit-flip/
+//! duplicate/reorder) over a simulated capture, prints the per-rate
+//! degradation statistics, and asserts the graceful-degradation
+//! invariants: zero panics, monotone coverage loss, and a rate-0 run
+//! byte-identical to the clean pipeline. It caps the workload at 25
+//! houses × 1 day (the packet path buffers every frame).
 //!
 //! Options: `--houses N` (100), `--days D` (7), `--scale A` (0.1 activity),
 //! `--seed S` (42), `--seeds K` (1; >1 runs a parallel seed sweep),
@@ -75,7 +82,7 @@ fn parse_args() -> Opts {
                 println!(
                     "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench all"
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz all"
                 );
                 std::process::exit(0);
             }
@@ -90,6 +97,11 @@ fn parse_args() -> Opts {
 
 fn main() {
     let opts = parse_args();
+    // `fuzz` drives the packet path at its own (capped) scale.
+    if opts.experiments.iter().any(|e| e == "fuzz") {
+        fuzz(&opts);
+        return;
+    }
     let cfg = WorkloadConfig {
         scale: ScaleKnobs { houses: opts.houses, days: opts.days, activity: opts.scale },
         ..WorkloadConfig::default()
@@ -528,6 +540,139 @@ fn ablate_scr(logs: &Logs) {
     println!("{}", t.render());
 }
 
+
+/// `fuzz` experiment: corrupt a simulated capture at increasing fault
+/// rates and verify the pipeline degrades gracefully.
+///
+/// One simulation is rendered to pcap bytes once; each rate then streams
+/// those bytes through a seeded [`xkit::fault::FaultInjector`] (split off
+/// the master RNG per rate, so every run is byte-reproducible), re-parses
+/// the corrupted capture with the monitor, and runs the full analysis.
+/// Asserted invariants: the sweep completes without a panic, frame
+/// acceptance and pair coverage degrade monotonically with the rate, and
+/// the rate-0 capture and its logs are byte-identical to the clean
+/// pipeline's.
+fn fuzz(opts: &Opts) {
+    use dnsctx::pcapio::{self, PcapRecord, RecordTransform};
+    use dnsctx::zeek_lite::{logfmt, Monitor, MonitorConfig};
+    use xkit::fault::{FaultConfig, FaultInjector, RawFrame};
+    use xkit::rng::{SeedableRng, StdRng};
+
+    /// Bridge the injector into the pcap rewrite seam.
+    struct Corruptor(FaultInjector);
+    impl Corruptor {
+        fn to_rec(f: RawFrame) -> PcapRecord {
+            PcapRecord { ts_nanos: f.ts_nanos, orig_len: f.orig_len, data: f.data }
+        }
+    }
+    impl RecordTransform for Corruptor {
+        fn apply(&mut self, r: PcapRecord) -> Vec<PcapRecord> {
+            let raw = RawFrame { ts_nanos: r.ts_nanos, orig_len: r.orig_len, data: r.data };
+            self.0.apply(raw).into_iter().map(Self::to_rec).collect()
+        }
+        fn flush(&mut self) -> Vec<PcapRecord> {
+            self.0.flush().into_iter().map(Self::to_rec).collect()
+        }
+    }
+
+    /// Serialize both logs to their Zeek-style TSV form for byte-exact
+    /// comparison.
+    fn render_logs(logs: &Logs) -> Vec<u8> {
+        let mut buf = Vec::new();
+        logfmt::write_conn_log(&mut buf, &logs.conns).expect("in-memory write");
+        logfmt::write_dns_log(&mut buf, &logs.dns).expect("in-memory write");
+        buf
+    }
+
+    // The packet path buffers every frame, so cap the workload well below
+    // the analysis default (still overridable downward via the flags).
+    let houses = opts.houses.min(25);
+    let days = opts.days.min(1.0);
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity: opts.scale },
+        ..WorkloadConfig::default()
+    };
+    eprintln!(
+        "# fuzz: simulating {houses} houses x {days} days at activity {} (seed {}) ...",
+        opts.scale, opts.seed
+    );
+    let sim = Simulation::new(cfg, opts.seed)
+        .expect("valid config")
+        .with_threads(opts.threads);
+    let mut clean = Vec::new();
+    let (_, frames) = sim.run_pcap(&mut clean, 65_535).expect("in-memory pcap");
+    eprintln!("# fuzz: {} frames, {} pcap bytes", count(frames as usize), count(clean.len()));
+
+    let baseline = Monitor::process_pcap(&clean[..], MonitorConfig::default())
+        .expect("clean capture parses");
+    let baseline_fmt = render_logs(&baseline);
+
+    let master = StdRng::seed_from_u64(opts.seed);
+    let rates = [0.0, 0.01, 0.05, 0.2];
+    let mut acceptances = Vec::new();
+    let mut coverages = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut corrupted = Vec::new();
+        let mut c = Corruptor(FaultInjector::new(FaultConfig::uniform(rate), master.split(i as u64)));
+        pcapio::rewrite(&clean[..], &mut corrupted, &mut c).expect("in-memory rewrite");
+        let fs = *c.0.stats();
+        let logs = Monitor::process_pcap(&corrupted[..], MonitorConfig::default())
+            .expect("corrupted capture still reads record-by-record");
+        let analysis = Analysis::run(&logs, opts.analysis_cfg());
+        let cov = analysis.coverage();
+        let counts = analysis.class_counts();
+
+        println!("== fuzz: fault rate {rate} ==");
+        println!(
+            "injector: {} in / {} out — {} dropped, {} truncated, {} bit-flipped, {} duplicated, {} reordered",
+            fs.frames_in, fs.frames_out, fs.dropped, fs.truncated, fs.bit_flipped, fs.duplicated, fs.reordered
+        );
+        print!("{}", logs.degradation);
+        println!("coverage: {cov}");
+        println!(
+            "class mix: N {:.1}%  LC {:.1}%  P {:.1}%  SC {:.1}%  R {:.1}%\n",
+            counts.share_pct(ConnClass::NoDns),
+            counts.share_pct(ConnClass::LocalCache),
+            counts.share_pct(ConnClass::Prefetched),
+            counts.share_pct(ConnClass::SharedCache),
+            counts.share_pct(ConnClass::Resolution),
+        );
+
+        if rate == 0.0 {
+            assert_eq!(corrupted, clean, "rate-0 rewrite must be byte-identical to the capture");
+            assert_eq!(
+                render_logs(&logs),
+                baseline_fmt,
+                "rate-0 logs must be byte-identical to the clean pipeline"
+            );
+            assert!(logs.degradation.is_clean(), "rate-0 run must reject nothing");
+        }
+        acceptances.push(cov.frame_acceptance);
+        coverages.push(cov.pair_coverage());
+    }
+
+    // Monotone degradation: frame acceptance tracks the rate exactly;
+    // pair coverage follows with a small stochastic slack (corrupting a
+    // SYN removes the connection from the denominator too).
+    for i in 1..rates.len() {
+        assert!(
+            acceptances[i] <= acceptances[i - 1] + 1e-9,
+            "frame acceptance rose between rates {} and {}: {} -> {}",
+            rates[i - 1], rates[i], acceptances[i - 1], acceptances[i]
+        );
+        assert!(
+            coverages[i] <= coverages[i - 1] + 0.02,
+            "pair coverage rose between rates {} and {}: {} -> {}",
+            rates[i - 1], rates[i], coverages[i - 1], coverages[i]
+        );
+    }
+    let last = rates.len() - 1;
+    assert!(acceptances[last] < acceptances[0], "20% faults must reject frames");
+    assert!(coverages[last] < coverages[0], "20% faults must cost pair coverage");
+    println!(
+        "fuzz OK: rates {rates:?}, zero panics, monotone degradation, rate-0 byte-identical"
+    );
+}
 
 /// One seed's headline statistics, for the multi-seed spread table.
 #[derive(Clone, Copy)]

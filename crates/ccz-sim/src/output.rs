@@ -11,8 +11,8 @@ use std::net::Ipv4Addr;
 use dns_wire::{Message, Name, Rcode, Record, RrType};
 use netpkt::{Frame, MacAddr, TcpFlags, TcpHeader};
 use zeek_lite::{
-    Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, Logs,
-    MonitorStats, Proto, Timestamp,
+    Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, Logs, Proto,
+    Timestamp,
 };
 
 /// One DNS transaction as the engine describes it.
@@ -142,7 +142,7 @@ impl LogSink {
         let mut logs = Logs {
             conns: self.conns,
             dns,
-            stats: MonitorStats::default(),
+            ..Default::default()
         };
         logs.conns.sort_by_key(|c| c.ts);
         (logs, perm)

@@ -49,6 +49,51 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// How complete the analysed input actually was.
+///
+/// The pipeline never refuses partial logs — damaged frames are rejected
+/// upstream and counted in [`zeek_lite::DegradationStats`] — so every
+/// result should be read next to this report: upstream acceptance ratios
+/// plus the fraction of application connections the pairing could still
+/// attribute to a lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Fraction of captured frames that parsed (1.0 for direct-log runs).
+    pub frame_acceptance: f64,
+    /// Fraction of port-53 payloads that decoded (1.0 for direct-log runs).
+    pub dns_acceptance: f64,
+    /// Application connections analysed.
+    pub app_conns: usize,
+    /// Of those, how many paired with a DNS lookup.
+    pub paired: usize,
+}
+
+impl Coverage {
+    /// Fraction of application connections that paired with a lookup,
+    /// in `[0, 1]` (1.0 when there were no connections at all).
+    pub fn pair_coverage(&self) -> f64 {
+        if self.app_conns == 0 {
+            1.0
+        } else {
+            self.paired as f64 / self.app_conns as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Coverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frames {:.2}% · dns {:.2}% · pairs {}/{} ({:.2}%)",
+            self.frame_acceptance * 100.0,
+            self.dns_acceptance * 100.0,
+            self.paired,
+            self.app_conns,
+            self.pair_coverage() * 100.0
+        )
+    }
+}
+
 /// The full pipeline, run once over a set of logs.
 pub struct Analysis<'a> {
     logs: &'a Logs,
@@ -94,6 +139,16 @@ impl<'a> Analysis<'a> {
     /// The configuration used.
     pub fn config(&self) -> &AnalysisConfig {
         &self.cfg
+    }
+
+    /// How much of the capture survived into this analysis.
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            frame_acceptance: self.logs.degradation.frame_acceptance(),
+            dns_acceptance: self.logs.degradation.dns_acceptance(),
+            app_conns: self.pairing.app_conn_count(),
+            paired: self.pairing.pairs.iter().filter(|p| p.dns.is_some()).count(),
+        }
     }
 
     /// Table 2.
@@ -199,7 +254,7 @@ mod tests {
         let mut logs = Logs {
             conns: vec![mk_conn(1_006, 0), mk_conn(30_000, 1)],
             dns,
-            stats: Default::default(),
+            ..Default::default()
         };
         logs.sort();
         logs
@@ -226,6 +281,13 @@ mod tests {
         let reports = a.platform_reports();
         let local = reports.iter().find(|r| r.name == "Local").unwrap();
         assert_eq!(local.conns_pct, 100.0);
+        let cov = a.coverage();
+        assert_eq!(cov.app_conns, 2);
+        assert_eq!(cov.paired, 2);
+        assert_eq!(cov.pair_coverage(), 1.0);
+        // Direct-log runs saw no frames, so acceptance reads as complete.
+        assert_eq!(cov.frame_acceptance, 1.0);
+        assert_eq!(cov.dns_acceptance, 1.0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod timeseries;
 
 mod analysis;
 
-pub use analysis::{Analysis, AnalysisConfig};
+pub use analysis::{Analysis, AnalysisConfig, Coverage};
 pub use classify::{ClassCounts, ConnClass};
 pub use pairing::{PairedConn, Pairing, PairingPolicy};
 pub use stats::Ecdf;

@@ -68,7 +68,7 @@ fn gen_world(r: &mut StdRng) -> World {
             }
         })
         .collect();
-    let mut logs = Logs { conns, dns, stats: Default::default() };
+    let mut logs = Logs { conns, dns, ..Default::default() };
     logs.sort();
     World { dns: logs.dns, conns: logs.conns }
 }
@@ -148,7 +148,7 @@ fn classification_partitions() {
     let mut r = rng(3);
     for _ in 0..CASES {
         let w = gen_world(&mut r);
-        let logs = Logs { conns: w.conns.clone(), dns: w.dns.clone(), stats: Default::default() };
+        let logs = Logs { conns: w.conns.clone(), dns: w.dns.clone(), ..Default::default() };
         let mut cfg = AnalysisConfig::default();
         cfg.threshold_rule.min_lookups = 1;
         let a = Analysis::run(&logs, cfg.clone());
@@ -180,7 +180,7 @@ fn blocked_share_monotone_in_threshold() {
     let mut r = rng(4);
     for _ in 0..CASES {
         let w = gen_world(&mut r);
-        let logs = Logs { conns: w.conns, dns: w.dns, stats: Default::default() };
+        let logs = Logs { conns: w.conns, dns: w.dns, ..Default::default() };
         let mut last = -1.0f64;
         for ms in [10u64, 50, 100, 500, 5_000] {
             let mut cfg = AnalysisConfig::default();

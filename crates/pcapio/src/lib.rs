@@ -316,6 +316,57 @@ pub fn merge<R1: Read, R2: Read, W: Write>(a: R1, b: R2, out: W) -> Result<u64, 
     Ok(n)
 }
 
+/// A stateful record-to-records transform for [`rewrite`].
+///
+/// Implemented for any `FnMut(PcapRecord) -> Vec<PcapRecord>` when no
+/// end-of-stream state needs draining.
+pub trait RecordTransform {
+    /// Map one input record to zero or more output records.
+    fn apply(&mut self, rec: PcapRecord) -> Vec<PcapRecord>;
+
+    /// Called once after the last input record so stateful transforms
+    /// (e.g. a reorder holdback) can drain.
+    fn flush(&mut self) -> Vec<PcapRecord> {
+        Vec::new()
+    }
+}
+
+impl<F: FnMut(PcapRecord) -> Vec<PcapRecord>> RecordTransform for F {
+    fn apply(&mut self, rec: PcapRecord) -> Vec<PcapRecord> {
+        self(rec)
+    }
+}
+
+/// Copy a capture record-by-record through a caller-supplied transform.
+///
+/// Each input record maps to zero or more output records (drop, modify,
+/// duplicate); [`RecordTransform::flush`] runs once after the last input
+/// record. The output keeps the input's snaplen and is written at
+/// nanosecond precision. Returns the number of records written.
+///
+/// This is the streaming seam the fault-injection harness plugs into: the
+/// capture never has to be fully materialised to be corrupted.
+pub fn rewrite<R, W, T>(input: R, out: W, transform: &mut T) -> Result<u64, PcapError>
+where
+    R: Read,
+    W: Write,
+    T: RecordTransform + ?Sized,
+{
+    let reader = PcapReader::new(input)?;
+    let mut w = PcapWriter::new(out, reader.snaplen(), TsPrecision::Nano)?;
+    for rec in reader.records() {
+        for r in transform.apply(rec?) {
+            w.write_packet(r.ts_nanos, &r.data, Some(r.orig_len))?;
+        }
+    }
+    for r in transform.flush() {
+        w.write_packet(r.ts_nanos, &r.data, Some(r.orig_len))?;
+    }
+    let n = w.packets_written();
+    w.into_inner()?;
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +531,42 @@ mod tests {
         assert_eq!(merge(&a[..], &empty[..], &mut merged).unwrap(), 1);
         let recs: Vec<_> = PcapReader::new(&merged[..]).unwrap().records().map(|r| r.unwrap()).collect();
         assert_eq!(recs[0].data, b"x");
+    }
+
+    #[test]
+    fn rewrite_identity_preserves_records() {
+        let buf = write_capture(TsPrecision::Nano, 96, &[(b"abc", None), (b"defgh", Some(1500))]);
+        let mut out = Vec::new();
+        let n = rewrite(&buf[..], &mut out, &mut |r: PcapRecord| vec![r]).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(out, buf, "identity rewrite of a nano capture is byte-identical");
+    }
+
+    #[test]
+    fn rewrite_can_drop_duplicate_and_flush() {
+        struct Holdback(Option<PcapRecord>);
+        impl RecordTransform for Holdback {
+            fn apply(&mut self, r: PcapRecord) -> Vec<PcapRecord> {
+                match r.data[0] {
+                    b'a' => Vec::new(),         // drop
+                    b'b' => vec![r.clone(), r], // duplicate
+                    _ => {
+                        self.0 = Some(r); // hold to flush
+                        Vec::new()
+                    }
+                }
+            }
+            fn flush(&mut self) -> Vec<PcapRecord> {
+                self.0.take().into_iter().collect()
+            }
+        }
+        let buf = write_capture(TsPrecision::Nano, 96, &[(b"a", None), (b"b", None), (b"c", None)]);
+        let mut out = Vec::new();
+        let n = rewrite(&buf[..], &mut out, &mut Holdback(None)).unwrap();
+        assert_eq!(n, 3);
+        let recs: Vec<_> = PcapReader::new(&out[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        let bytes: Vec<u8> = recs.iter().map(|r| r.data[0]).collect();
+        assert_eq!(bytes, vec![b'b', b'b', b'c']);
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //! * [`bench`] — a lightweight Criterion replacement (warmup, sampled
 //!   iterations, median/p95, JSON baseline emit) so the bench targets run
 //!   offline.
+//!
+//! On top of those, [`fault`] provides a seeded deterministic fault
+//! injector (drop/truncate/bit-flip/duplicate/reorder) used to prove the
+//! capture pipeline degrades gracefully under hostile input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod par;
 pub mod rng;

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod dns;
 pub mod logfmt;
 mod monitor;
@@ -32,6 +33,7 @@ pub mod time;
 mod tracker;
 pub mod types;
 
+pub use degradation::DegradationStats;
 pub use dns::{Answer, AnswerData, DnsTransaction};
 pub use monitor::{Logs, Monitor, MonitorConfig, MonitorStats};
 pub use time::{Duration, Timestamp};

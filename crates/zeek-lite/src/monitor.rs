@@ -1,5 +1,6 @@
 //! The passive monitor: packets in, conn.log + dns.log out.
 
+use crate::degradation::DegradationStats;
 use crate::dns::{Answer, AnswerData, DnsTransaction};
 use crate::time::{Duration, Timestamp};
 use crate::tracker::{ConnRecord, FlowTracker, PktMeta};
@@ -65,6 +66,8 @@ pub struct Logs {
     pub dns: Vec<DnsTransaction>,
     /// Whole-capture counters.
     pub stats: MonitorStats,
+    /// Classified rejection counters — how partial these logs are.
+    pub degradation: DegradationStats,
 }
 
 impl Logs {
@@ -90,6 +93,7 @@ impl Logs {
         s.dot_port_packets += o.dot_port_packets;
         s.dns_messages += o.dns_messages;
         s.dns_decode_errors += o.dns_decode_errors;
+        self.degradation.merge(&other.degradation);
         self.sort();
     }
 
@@ -117,6 +121,7 @@ impl Logs {
                 .cloned()
                 .collect(),
             stats: self.stats.clone(),
+            degradation: self.degradation.clone(),
         }
     }
 
@@ -187,6 +192,7 @@ pub struct Monitor {
     pending_dns: HashMap<DnsKey, PendingQuery>,
     dns_log: Vec<DnsTransaction>,
     stats: MonitorStats,
+    degradation: DegradationStats,
     last_dns_sweep: Timestamp,
 }
 
@@ -199,6 +205,7 @@ impl Monitor {
             pending_dns: HashMap::new(),
             dns_log: Vec::new(),
             stats: MonitorStats::default(),
+            degradation: DegradationStats::default(),
             last_dns_sweep: Timestamp::ZERO,
         }
     }
@@ -208,17 +215,21 @@ impl Monitor {
     pub fn handle_frame(&mut self, ts: Timestamp, captured: &[u8], orig_len: u32) {
         self.stats.packets += 1;
         self.stats.wire_bytes += orig_len as u64;
+        self.degradation.frames_seen += 1;
         let pkt = match Packet::parse(captured, orig_len as usize) {
             Ok(p) => p,
-            Err(PktError::UnsupportedEtherType(_)) => {
-                self.stats.non_ipv4 += 1;
-                return;
-            }
-            Err(_) => {
-                self.stats.parse_errors += 1;
+            Err(e) => {
+                // Coarse legacy counters plus the classified bucket.
+                if matches!(e, PktError::UnsupportedEtherType(_)) {
+                    self.stats.non_ipv4 += 1;
+                } else {
+                    self.stats.parse_errors += 1;
+                }
+                self.degradation.record_pkt_error(&e);
                 return;
             }
         };
+        self.degradation.frames_accepted += 1;
         let (proto, src_port, dst_port, tcp_flags, seq) = match &pkt.transport {
             Transport::Udp(u) => (Proto::Udp, u.src_port, u.dst_port, None, None),
             Transport::Tcp(t) => (Proto::Tcp, t.src_port, t.dst_port, Some(t.flags), Some(t.seq)),
@@ -249,14 +260,17 @@ impl Monitor {
     }
 
     fn handle_dns_payload(&mut self, ts: Timestamp, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        self.degradation.dns_payloads += 1;
         let msg = match Message::decode(payload) {
             Ok(m) => m,
-            Err(_) => {
+            Err(e) => {
                 self.stats.dns_decode_errors += 1;
+                self.degradation.record_dns_error(&e);
                 return;
             }
         };
         self.stats.dns_messages += 1;
+        self.degradation.dns_accepted += 1;
         let Some(q) = msg.questions.first() else { return };
         if !msg.flags.qr {
             // Query: client -> resolver. First query wins (retransmits
@@ -355,6 +369,7 @@ impl Monitor {
             conns: self.tracker.finish(),
             dns: self.dns_log,
             stats: self.stats,
+            degradation: self.degradation,
         };
         logs.sort();
         logs
@@ -585,7 +600,7 @@ mod tests {
         let logs = Logs {
             conns: vec![mk(1, 443, 100), mk(2, 443, 200), mk(3, 80, 50), mk(4, 9999, 1), mk(5, 53, 7)],
             dns: vec![],
-            stats: Default::default(),
+            ..Default::default()
         };
         let b = logs.service_breakdown();
         // DNS flows are excluded; ssl (2 conns) leads.

@@ -1,0 +1,153 @@
+//! Invariants of `Logs::merge` / `sort` / `window`: the shard-merge path
+//! must be indistinguishable from a single pass, and windowing must use
+//! half-open `[from, to)` bounds with nothing lost or duplicated.
+
+use std::net::Ipv4Addr;
+use zeek_lite::{
+    Answer, ConnRecord, ConnState, DegradationStats, DnsTransaction, Duration, FiveTuple, Logs,
+    Proto, Timestamp,
+};
+
+fn conn(ts_ms: u64, uid: u64) -> ConnRecord {
+    ConnRecord {
+        uid,
+        ts: Timestamp::from_millis(ts_ms),
+        id: FiveTuple {
+            orig_addr: Ipv4Addr::new(10, 0, 0, (uid % 200) as u8 + 1),
+            orig_port: 40_000 + uid as u16,
+            resp_addr: Ipv4Addr::new(104, 16, 0, 1),
+            resp_port: 443,
+            proto: Proto::Tcp,
+        },
+        duration: Duration::from_millis(100),
+        orig_bytes: 100,
+        resp_bytes: 1_000,
+        orig_pkts: 3,
+        resp_pkts: 5,
+        state: ConnState::SF,
+        history: "ShAaFf".into(),
+        service: Some("ssl"),
+    }
+}
+
+fn dns(ts_ms: u64, id: u16) -> DnsTransaction {
+    DnsTransaction {
+        ts: Timestamp::from_millis(ts_ms),
+        client: Ipv4Addr::new(10, 0, 0, 1),
+        resolver: Ipv4Addr::new(198, 51, 100, 53),
+        trans_id: id,
+        query: format!("q{id}.example.com"),
+        qtype: dns_wire::RrType::A,
+        rcode: Some(dns_wire::Rcode::NoError),
+        rtt: Some(Duration::from_millis(5)),
+        answers: vec![Answer::addr(Ipv4Addr::new(104, 16, 0, 1), 300)],
+    }
+}
+
+fn logs_with(conn_ts: &[u64], dns_ts: &[u64]) -> Logs {
+    let mut logs = Logs {
+        conns: conn_ts.iter().enumerate().map(|(i, &t)| conn(t, i as u64)).collect(),
+        dns: dns_ts.iter().enumerate().map(|(i, &t)| dns(t, i as u16)).collect(),
+        ..Default::default()
+    };
+    logs.sort();
+    logs
+}
+
+#[test]
+fn window_bounds_are_half_open() {
+    let logs = logs_with(&[999, 1_000, 1_500, 1_999, 2_000], &[1_000, 2_000]);
+    let w = logs.window(Timestamp::from_millis(1_000), Timestamp::from_millis(2_000));
+    // `from` is included, `to` is not.
+    let times: Vec<u64> = w.conns.iter().map(|c| c.ts.nanos() / 1_000_000).collect();
+    assert_eq!(times, vec![1_000, 1_500, 1_999]);
+    assert_eq!(w.dns.len(), 1);
+    assert_eq!(w.dns[0].ts, Timestamp::from_millis(1_000));
+}
+
+#[test]
+fn adjacent_windows_partition_the_log() {
+    let logs = logs_with(&[0, 100, 500, 999, 1_000, 1_700, 2_400], &[50, 1_050, 2_050]);
+    let cut = Timestamp::from_millis(1_000);
+    let end = Timestamp::from_millis(10_000);
+    let lo = logs.window(Timestamp::from_millis(0), cut);
+    let hi = logs.window(cut, end);
+    assert_eq!(lo.conns.len() + hi.conns.len(), logs.conns.len());
+    assert_eq!(lo.dns.len() + hi.dns.len(), logs.dns.len());
+    // Re-merging the two windows reproduces the original record streams.
+    let mut rejoined = lo;
+    rejoined.merge(hi);
+    assert_eq!(rejoined.conns, logs.conns);
+    assert_eq!(rejoined.dns, logs.dns);
+}
+
+#[test]
+fn merge_preserves_counts_and_resorts() {
+    let a = logs_with(&[5_000, 1_000], &[4_000]);
+    let b = logs_with(&[3_000, 2_000], &[500, 6_000]);
+    let mut merged = a.clone();
+    merged.merge(b.clone());
+    assert_eq!(merged.conns.len(), a.conns.len() + b.conns.len());
+    assert_eq!(merged.dns.len(), a.dns.len() + b.dns.len());
+    assert!(merged.conns.windows(2).all(|w| w[0].ts <= w[1].ts), "conns must be time-sorted");
+    assert!(merged.dns.windows(2).all(|w| w[0].ts <= w[1].ts), "dns must be time-sorted");
+}
+
+#[test]
+fn merge_is_associative_on_record_streams() {
+    let a = logs_with(&[1_000], &[100]);
+    let b = logs_with(&[2_000], &[200]);
+    let c = logs_with(&[3_000], &[300]);
+    let mut left = a.clone();
+    left.merge(b.clone());
+    left.merge(c.clone());
+    let mut bc = b;
+    bc.merge(c);
+    let mut right = a;
+    right.merge(bc);
+    assert_eq!(left.conns, right.conns);
+    assert_eq!(left.dns, right.dns);
+    assert_eq!(left.degradation, right.degradation);
+}
+
+#[test]
+fn merge_sums_degradation_stats() {
+    let mut a = logs_with(&[1_000], &[]);
+    a.degradation = DegradationStats {
+        frames_seen: 10,
+        frames_accepted: 8,
+        truncated_ipv4: 2,
+        dns_payloads: 4,
+        dns_accepted: 3,
+        dns_truncated: 1,
+        ..Default::default()
+    };
+    let mut b = logs_with(&[2_000], &[]);
+    b.degradation = DegradationStats {
+        frames_seen: 5,
+        frames_accepted: 5,
+        dns_payloads: 2,
+        dns_accepted: 2,
+        ..Default::default()
+    };
+    a.merge(b);
+    assert_eq!(a.degradation.frames_seen, 15);
+    assert_eq!(a.degradation.frames_accepted, 13);
+    assert_eq!(a.degradation.truncated_ipv4, 2);
+    assert_eq!(a.degradation.frames_rejected(), 2);
+    assert_eq!(a.degradation.dns_payloads, 6);
+    assert_eq!(a.degradation.dns_rejected(), 1);
+    assert!(!a.degradation.is_clean());
+}
+
+#[test]
+fn sort_is_stable_for_equal_timestamps() {
+    let mut logs = Logs {
+        conns: vec![conn(1_000, 7), conn(1_000, 3), conn(500, 9)],
+        ..Default::default()
+    };
+    logs.sort();
+    let uids: Vec<u64> = logs.conns.iter().map(|c| c.uid).collect();
+    // Equal stamps keep insertion order: 7 before 3.
+    assert_eq!(uids, vec![9, 7, 3]);
+}

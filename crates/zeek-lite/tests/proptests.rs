@@ -199,7 +199,7 @@ fn window_selects_in_range() {
         let conns: Vec<ConnRecord> =
             (0..r.random_range(0..40usize)).map(|_| gen_conn(&mut r)).collect();
         let cut_ms = r.random_range(0..u32::MAX as u64);
-        let mut logs = zeek_lite::Logs { conns, dns: vec![], stats: Default::default() };
+        let mut logs = zeek_lite::Logs { conns, dns: vec![], ..Default::default() };
         logs.sort();
         let cut = Timestamp::from_millis(cut_ms);
         let early = logs.window(Timestamp::ZERO, cut);

@@ -45,7 +45,7 @@ fn main() {
     // 2. Read them back, exactly as an operator with real Zeek logs would.
     let conns = logfmt::read_conn_log(File::open(&conn_path).expect("open conn.log")).expect("parse conn.log");
     let dns = logfmt::read_dns_log(File::open(&dns_path).expect("open dns.log")).expect("parse dns.log");
-    let mut logs = Logs { conns, dns, stats: Default::default() };
+    let mut logs = Logs { conns, dns, ..Default::default() };
     logs.sort();
 
     // 3. Analyse.

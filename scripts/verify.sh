@@ -20,4 +20,29 @@ if grep -rn "^rand\|^criterion\|^proptest\|^crossbeam\|^parking_lot" \
 fi
 echo "clean: no external dependencies declared"
 
+echo "== fault suite =="
+cargo test -q --offline -p dnsctx --test fault_tolerance --test fault_injection
+cargo test -q --offline -p netpkt --test fuzz_smoke
+cargo test -q --offline -p dns-wire --test fuzz_smoke
+cargo test -q --offline -p zeek-lite --test logs_invariants
+cargo run -q --release --offline -p bench --bin repro -- fuzz --seed 0
+
+echo "== panic deny-list (parse paths) =="
+# Non-test code in the parser crates must stay unwrap/expect-free: any
+# malformed input is a typed Err, never a panic. awk strips `//` comment
+# lines and stops scanning each file at its #[cfg(test)] module.
+bad=$(awk '
+    FNR == 1 { intest = 0 }
+    /#\[cfg\(test\)\]/ { intest = 1 }
+    intest { next }
+    /^[[:space:]]*\/\// { next }
+    /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
+' crates/netpkt/src/*.rs crates/dns-wire/src/*.rs || true)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: unwrap/expect in a non-test parse path" >&2
+    exit 1
+fi
+echo "clean: no unwrap/expect in netpkt or dns-wire parse paths"
+
 echo "== verify OK =="

@@ -1,0 +1,212 @@
+//! Adversarial corpus: hand-crafted hostile bytes through every parse
+//! path. Each case must come back as a typed `Err` — never a panic.
+
+use dnsctx::dns_wire::{tcp_frame, Message, Name, RrType, WireError};
+use dnsctx::netpkt::{Frame, MacAddr, Packet, PktError, TcpHeader};
+use std::net::Ipv4Addr;
+
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 2);
+const RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
+
+fn dns_query_bytes() -> Vec<u8> {
+    Message::query(7, Name::parse("www.example.com").unwrap(), RrType::A).encode()
+}
+
+fn udp_frame_bytes() -> Vec<u8> {
+    Frame::udp(MacAddr::LOCAL, MacAddr::UPSTREAM, CLIENT, RESOLVER, 54321, 53, &dns_query_bytes())
+        .encode()
+}
+
+fn tcp_frame_bytes() -> Vec<u8> {
+    Frame::tcp(MacAddr::LOCAL, MacAddr::UPSTREAM, CLIENT, RESOLVER, TcpHeader::syn(49152, 443, 100), b"hello")
+        .encode()
+}
+
+/// A 12-byte DNS header claiming the given section counts.
+fn dns_header(qd: u16, an: u16) -> Vec<u8> {
+    let mut h = vec![0u8; 12];
+    h[0..2].copy_from_slice(&7u16.to_be_bytes());
+    h[4..6].copy_from_slice(&qd.to_be_bytes());
+    h[6..8].copy_from_slice(&an.to_be_bytes());
+    h
+}
+
+#[test]
+fn truncated_ethernet_header_is_err() {
+    let full = udp_frame_bytes();
+    for cut in 0..14 {
+        let r = Packet::parse(&full[..cut], full.len());
+        assert!(
+            matches!(r, Err(PktError::Truncated { layer: "ethernet", .. })),
+            "cut at {cut}: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_ipv4_header_is_err() {
+    let full = udp_frame_bytes();
+    for cut in 14..34 {
+        let r = Packet::parse(&full[..cut], full.len());
+        assert!(r.is_err(), "cut at {cut} must not parse: {r:?}");
+    }
+}
+
+#[test]
+fn truncated_transport_headers_are_err() {
+    // UDP header needs 8 bytes after 34 bytes of eth+ip.
+    let udp = udp_frame_bytes();
+    for cut in 34..42 {
+        let r = Packet::parse(&udp[..cut], udp.len());
+        assert!(r.is_err(), "udp cut at {cut} must not parse: {r:?}");
+    }
+    // TCP header needs 20.
+    let tcp = tcp_frame_bytes();
+    for cut in 34..54 {
+        let r = Packet::parse(&tcp[..cut], tcp.len());
+        assert!(r.is_err(), "tcp cut at {cut} must not parse: {r:?}");
+    }
+}
+
+#[test]
+fn every_prefix_of_valid_frames_survives_parsing() {
+    // The blanket guarantee behind the corpus above: no prefix length of
+    // either frame panics, whatever the verdict.
+    for full in [udp_frame_bytes(), tcp_frame_bytes()] {
+        for cut in 0..=full.len() {
+            let _ = Packet::parse(&full[..cut], full.len());
+        }
+    }
+}
+
+#[test]
+fn self_pointing_compression_pointer_is_err() {
+    // Owner name is a pointer to its own offset (12): no strictly-earlier
+    // target, so the decoder must reject rather than chase it forever.
+    // (Answer-section errors keep their variant; question-section errors
+    // are flattened to CountMismatch, checked separately below.)
+    let mut msg = dns_header(0, 1);
+    msg.extend_from_slice(&[0xC0, 12]); // pointer -> offset 12 (itself)
+    assert!(matches!(Message::decode(&msg), Err(WireError::BadPointer { target: 12 })));
+
+    let mut pos = 12;
+    assert!(matches!(Name::decode(&msg, &mut pos), Err(WireError::BadPointer { target: 12 })));
+}
+
+#[test]
+fn forward_and_mutually_looping_pointers_are_err() {
+    // Pointer at 12 targets offset 14, which holds a pointer back to 12:
+    // the forward hop alone already violates strictly-decreasing targets.
+    let mut msg = dns_header(0, 1);
+    msg.extend_from_slice(&[0xC0, 14]);
+    msg.extend_from_slice(&[0xC0, 12]);
+    assert!(matches!(Message::decode(&msg), Err(WireError::BadPointer { target: 14 })));
+}
+
+#[test]
+fn out_of_bounds_pointer_is_err() {
+    let mut msg = dns_header(0, 1);
+    msg.extend_from_slice(&[0xC0, 0xFF]); // far past the end of the message
+    assert!(matches!(Message::decode(&msg), Err(WireError::BadPointer { target: 255 })));
+}
+
+#[test]
+fn reserved_label_types_are_err() {
+    for bad in [0x40u8, 0x80] {
+        let mut msg = dns_header(0, 1);
+        msg.extend_from_slice(&[bad, b'x', 0]);
+        assert!(
+            matches!(Message::decode(&msg), Err(WireError::ReservedLabelType(b)) if b == bad),
+            "label type {bad:#04x}"
+        );
+    }
+}
+
+#[test]
+fn hostile_question_names_are_err() {
+    // The question section flattens any malformed entry to CountMismatch;
+    // the point here is only that hostile names never parse or panic.
+    for tail in [&[0xC0u8, 12][..], &[0xC0, 0xFF], &[0x40, b'x', 0]] {
+        let mut msg = dns_header(1, 0);
+        msg.extend_from_slice(tail);
+        msg.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(
+            Message::decode(&msg),
+            Err(WireError::CountMismatch { section: "question" })
+        ));
+    }
+}
+
+#[test]
+fn zero_length_rdata_for_address_record_is_err() {
+    let mut msg = dns_header(0, 1);
+    msg.extend_from_slice(&[0]); // root owner name
+    msg.extend_from_slice(&1u16.to_be_bytes()); // TYPE A
+    msg.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+    msg.extend_from_slice(&300u32.to_be_bytes()); // TTL
+    msg.extend_from_slice(&0u16.to_be_bytes()); // RDLENGTH 0
+    assert!(matches!(
+        Message::decode(&msg),
+        Err(WireError::RdataLengthMismatch { declared: 0, actual: 4 })
+    ));
+}
+
+#[test]
+fn oversized_rdata_is_err() {
+    // RDLENGTH promises far more bytes than the message holds.
+    let mut msg = dns_header(0, 1);
+    msg.extend_from_slice(&[0]);
+    msg.extend_from_slice(&16u16.to_be_bytes()); // TYPE TXT
+    msg.extend_from_slice(&1u16.to_be_bytes());
+    msg.extend_from_slice(&300u32.to_be_bytes());
+    msg.extend_from_slice(&u16::MAX.to_be_bytes()); // RDLENGTH 65535
+    msg.extend_from_slice(&[4]); // one stray byte of "rdata"
+    assert!(Message::decode(&msg).is_err());
+}
+
+#[test]
+fn section_counts_exceeding_message_are_err() {
+    let mut msg = dns_header(9, 0); // promises 9 questions
+    msg.extend_from_slice(&[0, 0, 1, 0, 1]); // delivers 1
+    assert!(matches!(Message::decode(&msg), Err(WireError::CountMismatch { .. })));
+}
+
+#[test]
+fn every_cut_of_a_valid_message_is_err_not_panic() {
+    let full = {
+        let q = Message::query(3, Name::parse("cut.example.com").unwrap(), RrType::A);
+        let mut resp = q.answer_template();
+        resp.answers.push(dnsctx::dns_wire::Record::a(
+            Name::parse("cut.example.com").unwrap(),
+            300,
+            Ipv4Addr::new(192, 0, 2, 1),
+        ));
+        resp.encode()
+    };
+    assert!(Message::decode(&full).is_ok());
+    for cut in 0..full.len() {
+        assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut} must be Err");
+    }
+}
+
+#[test]
+fn mid_record_tcp_stream_cuts_are_err_not_panic() {
+    let payload = dns_query_bytes();
+    let mut stream = tcp_frame::frame(&payload);
+    stream.extend_from_slice(&tcp_frame::frame(&payload));
+    assert_eq!(tcp_frame::deframe_all(&stream).unwrap().len(), 2);
+    // Cutting anywhere inside the second message leaves a trailing
+    // partial frame: deframe_all must reject it, and what does deframe
+    // must still decode or error cleanly.
+    for cut in (payload.len() + 3)..stream.len() {
+        let cut_stream = &stream[..cut];
+        assert!(tcp_frame::deframe_all(cut_stream).is_err(), "cut at {cut}");
+        if let Ok(Some((msg, _))) = tcp_frame::deframe(cut_stream) {
+            let _ = Message::decode(msg);
+        }
+    }
+    // A length prefix promising bytes that never arrive is a clean error.
+    let mut lying = 500u16.to_be_bytes().to_vec();
+    lying.extend_from_slice(&[0; 20]);
+    assert!(matches!(tcp_frame::deframe_all(&lying), Err(WireError::BadTcpFrame)));
+}

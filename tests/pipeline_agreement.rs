@@ -93,7 +93,7 @@ fn tsv_logs_round_trip_simulated_data() {
     let logs2 = dnsctx::zeek_lite::Logs {
         conns: conns_back,
         dns: dns_back,
-        stats: Default::default(),
+        ..Default::default()
     };
     let a1 = Analysis::run(&out.logs, AnalysisConfig::default());
     let a2 = Analysis::run(&logs2, AnalysisConfig::default());
