@@ -10,7 +10,16 @@
 //!
 //! Experiments: `table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7
 //! sec8 diurnal houses ablate-threshold ablate-pairing ablate-scr bench
-//! fuzz all`.
+//! fuzz obs all`.
+//!
+//! `obs` (also reachable as `--obs`) runs the instrumented packet
+//! pipeline end to end: every stage (capture, zeek, pairing, thresholds,
+//! classify, perf, report) is timed as a `stage.*` span, the per-stage
+//! counters are merged into one deterministic metrics snapshot, the span
+//! tree and a human-readable metrics table go to stderr, and the JSON
+//! snapshot goes to stdout and to `--obs-out PATH` (default
+//! `OBS_repro.json`). The `metrics` section is byte-identical for every
+//! `--threads` value; wall times live only in the `spans` section.
 //!
 //! `fuzz` sweeps deterministic fault rates (drop/truncate/bit-flip/
 //! duplicate/reorder) over a simulated capture, prints the per-rate
@@ -41,6 +50,8 @@ struct Opts {
     seeds: usize,
     threads: usize,
     csv: bool,
+    obs: bool,
+    obs_out: String,
     experiments: Vec<String>,
 }
 
@@ -62,6 +73,8 @@ fn parse_args() -> Opts {
         seeds: 1,
         threads: 0,
         csv: false,
+        obs: false,
+        obs_out: "OBS_repro.json".into(),
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -78,11 +91,14 @@ fn parse_args() -> Opts {
             "--seeds" => opts.seeds = grab("--seeds").parse().expect("seeds"),
             "--threads" => opts.threads = grab("--threads").parse().expect("threads"),
             "--csv" => opts.csv = true,
+            "--obs" => opts.obs = true,
+            "--obs-out" => opts.obs_out = grab("--obs-out"),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz all"
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs all\n\
+                     obs-check <snapshot.json>: validate a snapshot written by `repro obs`"
                 );
                 std::process::exit(0);
             }
@@ -97,6 +113,23 @@ fn parse_args() -> Opts {
 
 fn main() {
     let opts = parse_args();
+    // `obs` drives the instrumented packet pipeline at its own (capped)
+    // scale, like `fuzz`; the bare `--obs` flag selects it too.
+    if opts.obs || opts.experiments.iter().any(|e| e == "obs") {
+        obs(&opts);
+        return;
+    }
+    // `obs-check PATH` parses a snapshot back and checks its contract.
+    if opts.experiments.first().map(String::as_str) == Some("obs-check") {
+        match opts.experiments.get(1) {
+            Some(path) => obs_check(path),
+            None => {
+                eprintln!("usage: repro obs-check <snapshot.json>");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     // `fuzz` drives the packet path at its own (capped) scale.
     if opts.experiments.iter().any(|e| e == "fuzz") {
         fuzz(&opts);
@@ -116,7 +149,7 @@ fn main() {
         "# simulating {} houses x {} days at activity {} (seed {}) ...",
         opts.houses, opts.days, opts.scale, opts.seed
     );
-    let t0 = std::time::Instant::now();
+    let t0 = xkit::obs::clock::now();
     let out = Simulation::new(cfg.clone(), opts.seed)
         .expect("valid config")
         .with_threads(opts.threads)
@@ -125,10 +158,10 @@ fn main() {
         "# {} connections, {} DNS transactions in {:.1}s; running analysis ...",
         count(out.logs.conns.len()),
         count(out.logs.dns.len()),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed_secs()
     );
     let analysis = Analysis::run(&out.logs, opts.analysis_cfg());
-    eprintln!("# analysis done in {:.1}s total\n", t0.elapsed().as_secs_f64());
+    eprintln!("# analysis done in {:.1}s total\n", t0.elapsed_secs());
 
     let all = opts.experiments.iter().any(|e| e == "all");
     let want = |name: &str| all || opts.experiments.iter().any(|e| e == name);
@@ -541,6 +574,202 @@ fn ablate_scr(logs: &Logs) {
 }
 
 
+/// `obs` experiment: the packet pipeline end to end with full
+/// instrumentation.
+///
+/// Each stage runs under a `stage.*` span (monotonic wall time plus at
+/// least one key counter as a note) and contributes its counters to one
+/// [`xkit::obs::Metrics`] snapshot, merged in a fixed stage order. The
+/// snapshot is a pure function of (config, seed) — sharded work merges
+/// in shard order upstream — so the JSON `metrics` section is
+/// byte-identical for every `--threads` value; wall-clock times live
+/// only in the `spans` section. Human-readable output (span tree,
+/// metrics table) goes to stderr; stdout carries exactly one JSON
+/// document, also written to `--obs-out`.
+/// Parse a snapshot written by `repro obs` back with the in-tree JSON
+/// parser and check its contract: a `meta` section, a non-empty
+/// `metrics` object, and one `stage.*` span per pipeline stage, each
+/// with a wall time and at least one note. Exits non-zero on any
+/// violation, so scripts can gate on it.
+fn obs_check(path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("obs-check: {msg}");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("cannot read {path}: {e}")),
+    };
+    let v = match xkit::obs::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => fail(format!("invalid JSON in {path}: {e}")),
+    };
+    if v.get("meta").and_then(|m| m.as_obj()).is_none() {
+        fail(format!("{path}: missing `meta` object"));
+    }
+    let metrics = match v.get("metrics").and_then(|m| m.as_obj()) {
+        Some(m) if !m.is_empty() => m,
+        _ => fail(format!("{path}: missing or empty `metrics` object")),
+    };
+    let spans = match v.get("spans").and_then(|s| s.as_arr()) {
+        Some(s) => s,
+        None => fail(format!("{path}: missing `spans` array")),
+    };
+    for want in
+        ["capture", "zeek", "pair", "thresholds", "classify", "perf", "report"]
+    {
+        let name = format!("stage.{want}");
+        let span = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(&name))
+            .unwrap_or_else(|| fail(format!("{path}: missing span {name}")));
+        if span.get("wall_ns").and_then(|w| w.as_f64()).is_none() {
+            fail(format!("{path}: span {name} has no wall_ns"));
+        }
+        match span.get("notes").and_then(|n| n.as_obj()) {
+            Some(notes) if !notes.is_empty() => {}
+            _ => fail(format!("{path}: span {name} carries no counter notes")),
+        }
+    }
+    println!(
+        "obs-check OK: {path} ({} metrics, {} spans)",
+        metrics.len(),
+        spans.len()
+    );
+}
+
+fn obs(opts: &Opts) {
+    use dnsctx::dns_context::classify::{classify_parallel, count_classes, resolver_thresholds};
+    use dnsctx::dns_context::perf::PerfAnalysis;
+    use dnsctx::dns_context::{Coverage, Pairing};
+    use dnsctx::zeek_lite::{Monitor, MonitorConfig, Timestamp};
+    use xkit::obs::{Metrics, SpanLog};
+
+    // The packet path buffers every frame, so cap the workload — but keep
+    // it above one simulation shard (25 houses) so the thread-invariance
+    // of the snapshot exercises a real multi-shard merge.
+    let houses = opts.houses.min(50);
+    let days = opts.days.min(1.0);
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity: opts.scale },
+        ..WorkloadConfig::default()
+    };
+    eprintln!(
+        "# obs: simulating {houses} houses x {days} days at activity {} (seed {}, threads {}) ...",
+        opts.scale, opts.seed, opts.threads
+    );
+    let mut spans = SpanLog::new();
+    let mut metrics = Metrics::new();
+    let acfg = opts.analysis_cfg();
+
+    // stage.capture: simulate the trace and render it to pcap bytes.
+    let s = spans.start("stage.capture");
+    let sim = Simulation::new(cfg, opts.seed)
+        .expect("valid config")
+        .with_threads(opts.threads);
+    let mut pcap = Vec::new();
+    let (_truth, frames, sim_metrics) =
+        sim.run_pcap_observed(&mut pcap, 65_535).expect("in-memory pcap");
+    metrics.merge(&sim_metrics);
+    spans.note(s, "frames", frames as f64);
+    spans.note(s, "pcap_bytes", pcap.len() as f64);
+    spans.finish(s);
+
+    // stage.zeek: read the capture record-by-record through the monitor.
+    let s = spans.start("stage.zeek");
+    let reader = dnsctx::pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
+    let mut records = reader.records();
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    for record in records.by_ref() {
+        let record = record.expect("pcap record");
+        monitor.handle_frame(Timestamp(record.ts_nanos), &record.data, record.orig_len);
+    }
+    metrics.merge(&records.reader().metrics());
+    let logs = monitor.finish();
+    metrics.merge(&logs.metrics());
+    spans.note(s, "conn_rows", logs.conns.len() as f64);
+    spans.note(s, "dns_rows", logs.dns.len() as f64);
+    spans.finish(s);
+
+    // stage.pair: DN-Hunter pairing of connections with lookups.
+    let s = spans.start("stage.pair");
+    let pairing = Pairing::build(&logs.conns, &logs.dns, acfg.policy);
+    let pair_metrics = pairing.metrics();
+    spans.note(s, "app_conns", pairing.app_conn_count() as f64);
+    spans.note(s, "hits", pair_metrics.counter("pair.hit") as f64);
+    metrics.merge(&pair_metrics);
+    spans.finish(s);
+
+    // stage.thresholds: per-resolver SC/R duration thresholds.
+    let s = spans.start("stage.thresholds");
+    let thresholds = resolver_thresholds(&logs.dns, acfg.threshold_rule);
+    metrics.add("threshold.resolvers", thresholds.len() as u64);
+    for (addr, thr) in &thresholds {
+        metrics.gauge_max(&format!("threshold.{addr}.ms"), thr.as_millis_f64());
+    }
+    spans.note(s, "resolvers", thresholds.len() as f64);
+    spans.finish(s);
+
+    // stage.classify: the Table 2 five-way split.
+    let s = spans.start("stage.classify");
+    let floor = Duration::from_secs_f64(acfg.threshold_rule.floor_ms / 1e3);
+    let classes = classify_parallel(
+        opts.threads,
+        &logs.dns,
+        &pairing,
+        acfg.block_threshold,
+        &thresholds,
+        floor,
+    );
+    let counts = count_classes(&classes);
+    metrics.add("class.no_dns", counts.no_dns as u64);
+    metrics.add("class.local_cache", counts.local_cache as u64);
+    metrics.add("class.prefetched", counts.prefetched as u64);
+    metrics.add("class.shared_cache", counts.shared_cache as u64);
+    metrics.add("class.resolution", counts.resolution as u64);
+    spans.note(s, "classified", counts.total() as f64);
+    spans.finish(s);
+
+    // stage.perf: blocked-connection delay figures.
+    let s = spans.start("stage.perf");
+    let perf = PerfAnalysis::compute(&logs.conns, &logs.dns, &pairing, &classes);
+    metrics.add("perf.blocked_conns", perf.blocked.len() as u64);
+    for b in &perf.blocked {
+        metrics.observe_with("perf.blocked_dns_ms", xkit::obs::HistSpec::time_ms(), b.dns_ms);
+    }
+    spans.note(s, "blocked_conns", perf.blocked.len() as f64);
+    spans.finish(s);
+
+    // stage.report: coverage summary + human-readable rendering (stderr).
+    let s = spans.start("stage.report");
+    let coverage = Coverage {
+        frame_acceptance: logs.degradation.frame_acceptance(),
+        dns_acceptance: logs.degradation.dns_acceptance(),
+        app_conns: pairing.app_conn_count(),
+        paired: pairing.pairs.iter().filter(|p| p.dns.is_some()).count(),
+    };
+    metrics.merge(&coverage.to_metrics());
+    let table = metrics.render_table();
+    spans.note(s, "metrics", metrics.len() as f64);
+    spans.finish(s);
+
+    eprintln!("# obs: coverage {coverage}");
+    eprint!("{table}");
+    eprint!("{}", spans.render_tree());
+
+    let json = format!(
+        "{{\"meta\":{{\"experiment\":\"obs\",\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{}}},\"metrics\":{},\"spans\":{}}}",
+        opts.scale,
+        opts.seed,
+        opts.threads,
+        metrics.to_json(),
+        spans.to_json()
+    );
+    std::fs::write(&opts.obs_out, format!("{json}\n")).expect("write obs snapshot");
+    eprintln!("# obs: wrote {}", opts.obs_out);
+    println!("{json}");
+}
+
 /// `fuzz` experiment: corrupt a simulated capture at increasing fault
 /// rates and verify the pipeline degrades gracefully.
 ///
@@ -819,14 +1048,14 @@ fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>
         "# bench: {}-seed sweep, sequential vs parallel ...",
         sweep_seeds.len()
     );
-    let t = std::time::Instant::now();
+    let t = xkit::obs::clock::now();
     let seq = xkit::par::par_map(1, sweep_seeds.clone(), |_, seed| headline_for_seed(cfg, seed));
-    let seq_s = t.elapsed().as_secs_f64();
-    let t = std::time::Instant::now();
+    let seq_s = t.elapsed_secs();
+    let t = xkit::obs::clock::now();
     let par = xkit::par::par_map(opts.threads, sweep_seeds.clone(), |_, seed| {
         headline_for_seed(cfg, seed)
     });
-    let par_s = t.elapsed().as_secs_f64();
+    let par_s = t.elapsed_secs();
     assert_eq!(seq.len(), par.len());
     assert!(
         seq.iter().zip(&par).all(|(a, b)| a.shares == b.shares),
@@ -842,7 +1071,8 @@ fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>
     h.note("sweep_seq_s", seq_s);
     h.note("sweep_par_s", par_s);
     h.note("sweep_speedup_x", seq_s / par_s.max(1e-9));
-    h.print_table();
+    // Timing tables are diagnostics: stderr, never stdout.
+    eprint!("{}", h.render_table());
     let path = std::path::Path::new("BENCH_repro.json");
     h.write_json(path).expect("write BENCH_repro.json");
     eprintln!("# bench: wrote {}", path.display());

@@ -1,0 +1,74 @@
+//! CLI-level checks for `repro --obs`: stdout carries exactly one valid
+//! JSON document, the `metrics` section is byte-identical across thread
+//! counts, and every pipeline stage appears as a named span with a wall
+//! time and at least one counter note.
+
+use std::path::PathBuf;
+use std::process::Command;
+use xkit::obs::json;
+
+fn run_obs(threads: usize, out: &PathBuf) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["obs", "--houses", "30", "--days", "0.02", "--scale", "0.3"])
+        .args(["--threads", &threads.to_string()])
+        .arg("--obs-out")
+        .arg(out)
+        .output()
+        .expect("spawn repro");
+    assert!(output.status.success(), "repro obs failed: {output:?}");
+    String::from_utf8(output.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn obs_json_parses_back_and_is_thread_invariant() {
+    let dir = std::env::temp_dir();
+    let f1 = dir.join(format!("obs_cli_t1_{}.json", std::process::id()));
+    let f8 = dir.join(format!("obs_cli_t8_{}.json", std::process::id()));
+    let out1 = run_obs(1, &f1);
+    let out8 = run_obs(8, &f8);
+
+    // stdout is one valid JSON document, identical to the --obs-out file.
+    let v1 = json::parse(&out1).expect("valid JSON on stdout (t1)");
+    let v8 = json::parse(&out8).expect("valid JSON on stdout (t8)");
+    let file1 = std::fs::read_to_string(&f1).expect("obs-out written");
+    assert_eq!(out1.trim_end(), file1.trim_end(), "stdout and --obs-out must agree");
+    let _ = std::fs::remove_file(&f1);
+    let _ = std::fs::remove_file(&f8);
+
+    // The metrics section is byte-identical for any thread count
+    // (canonical render; wall times live only under "spans").
+    let m1 = v1.get("metrics").expect("metrics section").render();
+    let m8 = v8.get("metrics").expect("metrics section").render();
+    assert_eq!(m1, m8, "metrics snapshot must be thread-invariant");
+
+    // Every pipeline stage shows up as a span with a time and a counter.
+    let spans = v1.get("spans").and_then(|s| s.as_arr()).expect("spans array");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in [
+        "stage.capture",
+        "stage.zeek",
+        "stage.pair",
+        "stage.thresholds",
+        "stage.classify",
+        "stage.perf",
+        "stage.report",
+    ] {
+        assert!(names.contains(&want), "missing span {want} in {names:?}");
+    }
+    for s in spans {
+        let wall = s.get("wall_ns").and_then(|w| w.as_f64()).expect("wall_ns");
+        assert!(wall >= 0.0);
+        let notes = s.get("notes").and_then(|n| n.as_obj()).expect("notes object");
+        assert!(!notes.is_empty(), "every stage span carries >=1 counter note");
+    }
+
+    // Key counters made it through the pipe.
+    let metrics = v1.get("metrics").expect("metrics");
+    for key in ["capture.frames_read", "zeek.frames_accepted", "pair.app_conns"] {
+        let n = metrics.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert!(n > 0.0, "expected non-zero {key}");
+    }
+}

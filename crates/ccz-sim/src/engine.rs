@@ -6,6 +6,7 @@ use crate::names::{NameId, NameUniverse, ServiceId};
 use crate::output::{ConnEmission, ConnFate, DnsEmission, LogSink, PcapSink, Sink};
 use crate::resolvers::ResolverPlatform;
 use crate::truth::{ConnClass, GroundTruth, TruthConn, TruthDns};
+use xkit::obs::Metrics;
 use xkit::rng::StdRng;
 use xkit::rng::{RngExt, SeedableRng};
 use std::cmp::Reverse;
@@ -36,6 +37,10 @@ pub struct SimOutput {
     pub truth: GroundTruth,
     /// Per-platform (name, queries, cache hits) counters.
     pub platform_stats: Vec<(String, u64, u64)>,
+    /// Workload-side obs snapshot: `sim.*` event/emission counters and
+    /// `resolver.<platform>.*` query/hit counters, merged in shard order
+    /// so the snapshot is identical for any thread count.
+    pub metrics: Metrics,
 }
 
 /// Houses per simulation shard — the unit of parallelism. The partition
@@ -112,7 +117,7 @@ impl Simulation {
     /// same order, plus merged truth and summed platform stats. The
     /// merged truth's dns indices point into the concatenated emission
     /// order.
-    fn drive_all<S, F>(&self, make_sink: F) -> (Vec<S>, GroundTruth, Vec<(String, u64, u64)>)
+    fn drive_all<S, F>(&self, make_sink: F) -> (Vec<S>, GroundTruth, Vec<(String, u64, u64)>, Metrics)
     where
         S: Sink + Send,
         F: Fn() -> S + Sync,
@@ -121,14 +126,16 @@ impl Simulation {
         let spans = shard_spans(self.cfg.scale.houses);
         let parts = xkit::par::par_indexed(self.threads, spans.len(), |k| {
             let mut sink = make_sink();
-            let (truth, stats) =
+            let (truth, stats, metrics) =
                 Engine::drive_shard(&self.cfg, &shared, k as u64, spans[k].clone(), &mut sink);
-            (sink, truth, stats)
+            (sink, truth, stats, metrics)
         });
         let mut sinks = Vec::with_capacity(parts.len());
         let mut truth = GroundTruth::default();
         let mut platform_stats: Vec<(String, u64, u64)> = Vec::new();
-        for (sink, mut shard_truth, stats) in parts {
+        let mut metrics = Metrics::new();
+        for (sink, mut shard_truth, stats, shard_metrics) in parts {
+            metrics.merge(&shard_metrics);
             let dns_off = truth.dns.len();
             for tc in &mut shard_truth.conns {
                 if let Some(di) = tc.dns_index {
@@ -147,12 +154,12 @@ impl Simulation {
             }
             sinks.push(sink);
         }
-        (sinks, truth, platform_stats)
+        (sinks, truth, platform_stats, metrics)
     }
 
     /// Run in direct-log mode.
     pub fn run(&self) -> SimOutput {
-        let (sinks, mut truth, platform_stats) = self.drive_all(LogSink::new);
+        let (sinks, mut truth, platform_stats, metrics) = self.drive_all(LogSink::new);
         let mut merged = LogSink::new();
         for s in sinks {
             merged.absorb(s);
@@ -171,7 +178,7 @@ impl Simulation {
                 tc.dns_index = Some(dns_perm[di]);
             }
         }
-        SimOutput { logs, truth, platform_stats }
+        SimOutput { logs, truth, platform_stats, metrics }
     }
 
     /// Run in packet mode: write a pcap capture of the whole trace to
@@ -179,13 +186,25 @@ impl Simulation {
     /// bytes to [`zeek_lite::Monitor::process_pcap`] to obtain logs the
     /// hard way.
     pub fn run_pcap<W: Write>(&self, out: W, snaplen: u32) -> io::Result<(GroundTruth, u64)> {
-        let (sinks, truth, _) = self.drive_all(PcapSink::new);
+        self.run_pcap_observed(out, snaplen).map(|(truth, frames, _)| (truth, frames))
+    }
+
+    /// Packet mode with the workload-side obs snapshot alongside: the
+    /// shard-merged `sim.*`/`resolver.*` counters plus
+    /// `sim.frames_written` for the capture itself.
+    pub fn run_pcap_observed<W: Write>(
+        &self,
+        out: W,
+        snaplen: u32,
+    ) -> io::Result<(GroundTruth, u64, Metrics)> {
+        let (sinks, truth, _, mut metrics) = self.drive_all(PcapSink::new);
         let mut merged = PcapSink::new();
         for s in sinks {
             merged.absorb(s);
         }
         let frames = merged.write_pcap(out, snaplen)?;
-        Ok((truth, frames))
+        metrics.add("sim.frames_written", frames);
+        Ok((truth, frames, metrics))
     }
 }
 
@@ -322,6 +341,10 @@ struct Engine<'a, S: Sink> {
     truth: GroundTruth,
     end: Timestamp,
     seq: u64,
+    /// Events actually processed (popped within the trace window); plain
+    /// u64s here, folded into an obs snapshot once per shard.
+    events: u64,
+    nxdomains: u64,
     // Cached distributions.
     dwell: LogNormal,
     app_delay: LogNormal,
@@ -341,7 +364,8 @@ impl<'a, S: Sink> Engine<'a, S> {
         shard: u64,
         span: std::ops::Range<usize>,
         sink: &'a mut S,
-    ) -> (GroundTruth, Vec<(String, u64, u64)>) {
+    ) -> (GroundTruth, Vec<(String, u64, u64)>, Metrics) {
+        let houses_in_span = span.len() as u64;
         let rng = shared.base_rng.split(shard);
         let platforms: Vec<ResolverPlatform> =
             cfg.platforms.iter().cloned().map(ResolverPlatform::new).collect();
@@ -356,6 +380,8 @@ impl<'a, S: Sink> Engine<'a, S> {
             truth: GroundTruth::default(),
             end,
             seq: 0,
+            events: 0,
+            nxdomains: 0,
             dwell: LogNormal::from_median(cfg.dwell_median_secs, 1.1),
             app_delay: LogNormal::from_median(cfg.app_start_delay_ms, cfg.app_start_sigma),
             server_rtt: LogNormal::from_median(25.0, 0.5),
@@ -366,12 +392,24 @@ impl<'a, S: Sink> Engine<'a, S> {
         };
         e.setup(span);
         e.run_loop();
-        let stats = e
+        let stats: Vec<(String, u64, u64)> = e
             .platforms
             .iter()
             .map(|p| (p.cfg.name.to_string(), p.queries, p.hits))
             .collect();
-        (e.truth, stats)
+        let mut m = Metrics::new();
+        m.add("sim.shards", 1);
+        m.add("sim.houses", houses_in_span);
+        m.add("sim.events", e.events);
+        m.add("sim.conns", e.truth.conns.len() as u64);
+        m.add("sim.dns_lookups", e.truth.dns.len() as u64);
+        m.add("sim.nxdomains", e.nxdomains);
+        for (name, queries, hits) in &stats {
+            let key = name.to_ascii_lowercase();
+            m.add(&format!("resolver.{key}.queries"), *queries);
+            m.add(&format!("resolver.{key}.hits"), *hits);
+        }
+        (e.truth, stats, m)
     }
 
     // ---------------- setup ----------------
@@ -518,6 +556,7 @@ impl<'a, S: Sink> Engine<'a, S> {
             if t > self.end {
                 continue;
             }
+            self.events += 1;
             match entry.ev {
                 Ev::BrowseSession { h, d } => self.ev_browse_session(h, d, t),
                 Ev::NameUse { h, d, name, profile } => self.use_and_connect(h, d, name, t, profile),
@@ -682,6 +721,7 @@ impl<'a, S: Sink> Engine<'a, S> {
     /// paired with any connection. Always misses the shared cache (the
     /// typo space is effectively infinite).
     fn lookup_nxdomain(&mut self, h: u32, d: u32, t: Timestamp) {
+        self.nxdomains += 1;
         let dev_platform = self.houses[h as usize].devices[d as usize].platform;
         // Unique junk name: no warmth, guaranteed resolver miss.
         let n = self.truth.dns.len();
@@ -1291,6 +1331,21 @@ mod tests {
     /// platform stats all match between a 1-thread and an N-thread run of
     /// a multi-shard config.
     #[test]
+    fn sim_metrics_match_output_and_platform_stats() {
+        let out = Simulation::new(tiny_cfg(), 42).unwrap().run();
+        let m = &out.metrics;
+        assert_eq!(m.counter("sim.houses"), 6);
+        assert_eq!(m.counter("sim.conns"), out.truth.conns.len() as u64);
+        assert_eq!(m.counter("sim.dns_lookups"), out.truth.dns.len() as u64);
+        assert!(m.counter("sim.events") >= m.counter("sim.conns"));
+        for (name, queries, hits) in &out.platform_stats {
+            let key = name.to_ascii_lowercase();
+            assert_eq!(m.counter(&format!("resolver.{key}.queries")), *queries);
+            assert_eq!(m.counter(&format!("resolver.{key}.hits")), *hits);
+        }
+    }
+
+    #[test]
     fn thread_count_does_not_change_output() {
         let cfg = WorkloadConfig {
             scale: ScaleKnobs { houses: 30, days: 0.05, activity: 1.0 },
@@ -1304,6 +1359,7 @@ mod tests {
         assert_eq!(seq.logs.conns, par.logs.conns);
         assert_eq!(seq.logs.dns, par.logs.dns);
         assert_eq!(seq.platform_stats, par.platform_stats);
+        assert_eq!(seq.metrics.to_json(), par.metrics.to_json(), "obs snapshot must be thread-invariant");
         assert_eq!(seq.truth.conns.len(), par.truth.conns.len());
         for (a, b) in seq.truth.conns.iter().zip(&par.truth.conns) {
             assert_eq!(a.class, b.class);

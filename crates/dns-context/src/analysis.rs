@@ -78,6 +78,30 @@ impl Coverage {
             self.paired as f64 / self.app_conns as f64
         }
     }
+
+    /// Express the report as an obs snapshot (`cover.*`): acceptance
+    /// ratios as gauges, connection counts as counters. `from_metrics`
+    /// inverts it exactly, so this struct is a thin view over the one
+    /// snapshot/merge path.
+    pub fn to_metrics(&self) -> xkit::obs::Metrics {
+        let mut m = xkit::obs::Metrics::new();
+        m.gauge_max("cover.frame_acceptance", self.frame_acceptance);
+        m.gauge_max("cover.dns_acceptance", self.dns_acceptance);
+        m.add("cover.app_conns", self.app_conns as u64);
+        m.add("cover.paired", self.paired as u64);
+        m
+    }
+
+    /// Rebuild the view from an obs snapshot (absent gauges read as
+    /// fully-accepted, matching the direct-log default).
+    pub fn from_metrics(m: &xkit::obs::Metrics) -> Coverage {
+        Coverage {
+            frame_acceptance: m.gauge("cover.frame_acceptance").unwrap_or(1.0),
+            dns_acceptance: m.gauge("cover.dns_acceptance").unwrap_or(1.0),
+            app_conns: m.counter("cover.app_conns") as usize,
+            paired: m.counter("cover.paired") as usize,
+        }
+    }
 }
 
 impl std::fmt::Display for Coverage {
@@ -200,6 +224,32 @@ impl<'a> Analysis<'a> {
         crate::house::house_reports(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
     }
 
+    /// Everything the analysis can report as one obs snapshot: the
+    /// `pair.*` outcomes, `class.*` counts, per-resolver `threshold.*`
+    /// gauges, `perf.*` blocked-connection figures, and the `cover.*`
+    /// view. Pure function of the logs, so identical for any thread
+    /// count.
+    pub fn metrics(&self) -> xkit::obs::Metrics {
+        let mut m = self.pairing.metrics();
+        m.merge(&self.coverage().to_metrics());
+        let counts = self.class_counts();
+        m.add("class.no_dns", counts.no_dns as u64);
+        m.add("class.local_cache", counts.local_cache as u64);
+        m.add("class.prefetched", counts.prefetched as u64);
+        m.add("class.shared_cache", counts.shared_cache as u64);
+        m.add("class.resolution", counts.resolution as u64);
+        m.add("threshold.resolvers", self.thresholds.len() as u64);
+        for (addr, thr) in &self.thresholds {
+            m.gauge_max(&format!("threshold.{addr}.ms"), thr.as_millis_f64());
+        }
+        let perf = self.perf();
+        m.add("perf.blocked_conns", perf.blocked.len() as u64);
+        for b in &perf.blocked {
+            m.observe_with("perf.blocked_dns_ms", xkit::obs::HistSpec::time_ms(), b.dns_ms);
+        }
+        m
+    }
+
     /// Table 1 / §7 / Figure 3.
     pub fn platform_reports(&self) -> Vec<PlatformReport> {
         platform_reports(
@@ -288,6 +338,30 @@ mod tests {
         // Direct-log runs saw no frames, so acceptance reads as complete.
         assert_eq!(cov.frame_acceptance, 1.0);
         assert_eq!(cov.dns_acceptance, 1.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_consistent_with_views() {
+        let logs = small_logs();
+        let mut cfg = AnalysisConfig::default();
+        cfg.threshold_rule.min_lookups = 1;
+        let a = Analysis::run(&logs, cfg);
+        let m = a.metrics();
+        // Pairing outcomes partition the application connections.
+        let app = m.counter("pair.app_conns");
+        assert_eq!(m.counter("pair.hit") + m.counter("pair.fallback") + m.counter("pair.miss"), app);
+        assert_eq!(app, a.pairing.app_conn_count() as u64);
+        // Per-class counts sum to the total.
+        assert_eq!(m.sum_counters("class."), a.class_counts().total() as u64);
+        // Coverage is a thin view over the same snapshot.
+        assert_eq!(Coverage::from_metrics(&m), a.coverage());
+        // Every derived resolver threshold appears as a gauge.
+        assert_eq!(m.counter("threshold.resolvers"), a.thresholds.len() as u64);
+        for (addr, thr) in &a.thresholds {
+            let g = m.gauge(&format!("threshold.{addr}.ms")).unwrap();
+            assert_eq!(g, thr.as_millis_f64());
+        }
+        assert_eq!(m.counter("perf.blocked_conns"), a.perf().blocked.len() as u64);
     }
 
     #[test]

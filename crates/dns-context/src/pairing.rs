@@ -183,6 +183,36 @@ impl Pairing {
         self.pairs.len()
     }
 
+    /// Pairing outcomes as an obs snapshot: `pair.hit` (non-expired
+    /// pairing), `pair.fallback` (expired-record pairing), `pair.miss`
+    /// (no candidate lookup), `pair.first_use`, `pair.app_conns`, and a
+    /// `pair.gap_ms` histogram over connection-start − lookup-completion
+    /// gaps. `hit + fallback + miss == app_conns` by construction.
+    pub fn metrics(&self) -> xkit::obs::Metrics {
+        let mut m = xkit::obs::Metrics::new();
+        let mut hit = 0u64;
+        let mut fallback = 0u64;
+        let mut miss = 0u64;
+        let mut first_use = 0u64;
+        for p in &self.pairs {
+            match (p.dns, p.expired) {
+                (Some(_), false) => hit += 1,
+                (Some(_), true) => fallback += 1,
+                (None, _) => miss += 1,
+            }
+            first_use += u64::from(p.first_use);
+            if let Some(gap) = p.gap {
+                m.observe_with("pair.gap_ms", xkit::obs::HistSpec::time_ms(), gap.as_millis_f64());
+            }
+        }
+        m.add("pair.hit", hit);
+        m.add("pair.fallback", fallback);
+        m.add("pair.miss", miss);
+        m.add("pair.first_use", first_use);
+        m.add("pair.app_conns", self.pairs.len() as u64);
+        m
+    }
+
     /// Fraction of *paired* connections with exactly one non-expired
     /// candidate (the paper reports 82 %).
     pub fn single_candidate_share(&self) -> f64 {

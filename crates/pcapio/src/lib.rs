@@ -116,6 +116,7 @@ pub struct PcapWriter<W: Write> {
     snaplen: u32,
     precision: TsPrecision,
     packets_written: u64,
+    bytes_written: u64,
 }
 
 impl<W: Write> PcapWriter<W> {
@@ -134,7 +135,7 @@ impl<W: Write> PcapWriter<W> {
         out.write_all(&0u32.to_le_bytes())?; // sigfigs
         out.write_all(&snaplen.to_le_bytes())?;
         out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
-        Ok(PcapWriter { out, snaplen, precision, packets_written: 0 })
+        Ok(PcapWriter { out, snaplen, precision, packets_written: 0, bytes_written: 0 })
     }
 
     /// Append one packet. `ts_nanos` is nanoseconds since the epoch;
@@ -155,12 +156,27 @@ impl<W: Write> PcapWriter<W> {
         self.out.write_all(&orig.to_le_bytes())?;
         self.out.write_all(&frame[..stored])?;
         self.packets_written += 1;
+        self.bytes_written += stored as u64;
         Ok(())
     }
 
     /// Number of records written so far.
     pub fn packets_written(&self) -> u64 {
         self.packets_written
+    }
+
+    /// Total record payload bytes written so far (excluding headers).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Writer-side counters as an obs snapshot (`capture.frames_written`,
+    /// `capture.bytes_written`).
+    pub fn metrics(&self) -> xkit::obs::Metrics {
+        let mut m = xkit::obs::Metrics::new();
+        m.add("capture.frames_written", self.packets_written);
+        m.add("capture.bytes_written", self.bytes_written);
+        m
     }
 
     /// Flush and return the underlying writer.
@@ -176,6 +192,9 @@ pub struct PcapReader<R: Read> {
     swapped: bool,
     precision: TsPrecision,
     snaplen: u32,
+    records_read: u64,
+    bytes_read: u64,
+    records_rejected: u64,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -217,12 +236,40 @@ impl<R: Read> PcapReader<R> {
             swapped,
             precision,
             snaplen: rd32(16),
+            records_read: 0,
+            bytes_read: 0,
+            records_rejected: 0,
         })
     }
 
     /// The file's snaplen.
     pub fn snaplen(&self) -> u32 {
         self.snaplen
+    }
+
+    /// Records successfully read so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Record payload bytes successfully read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Records rejected so far (implausible header or truncated body).
+    pub fn records_rejected(&self) -> u64 {
+        self.records_rejected
+    }
+
+    /// Reader-side counters as an obs snapshot (`capture.frames_read`,
+    /// `capture.bytes_read`, `capture.frames_rejected`).
+    pub fn metrics(&self) -> xkit::obs::Metrics {
+        let mut m = xkit::obs::Metrics::new();
+        m.add("capture.frames_read", self.records_read);
+        m.add("capture.bytes_read", self.bytes_read);
+        m.add("capture.frames_rejected", self.records_rejected);
+        m
     }
 
     /// The file's timestamp precision.
@@ -253,6 +300,7 @@ impl<R: Read> PcapReader<R> {
         let incl_len = rd32(8);
         let orig_len = rd32(12);
         if incl_len > orig_len || incl_len > self.snaplen.saturating_add(65535) {
+            self.records_rejected += 1;
             return Err(PcapError::BadRecord { incl_len, orig_len });
         }
         let ts_nanos = match self.precision {
@@ -260,7 +308,12 @@ impl<R: Read> PcapReader<R> {
             TsPrecision::Nano => secs * 1_000_000_000 + subsec,
         };
         let mut data = vec![0u8; incl_len as usize];
-        self.input.read_exact(&mut data).map_err(|_| PcapError::TruncatedFile)?;
+        self.input.read_exact(&mut data).map_err(|_| {
+            self.records_rejected += 1;
+            PcapError::TruncatedFile
+        })?;
+        self.records_read += 1;
+        self.bytes_read += data.len() as u64;
         Ok(Some(PcapRecord { ts_nanos, orig_len, data }))
     }
 
@@ -273,6 +326,13 @@ impl<R: Read> PcapReader<R> {
 /// Iterator adapter over a [`PcapReader`].
 pub struct Records<R: Read> {
     reader: PcapReader<R>,
+}
+
+impl<R: Read> Records<R> {
+    /// The wrapped reader (for its counters).
+    pub fn reader(&self) -> &PcapReader<R> {
+        &self.reader
+    }
 }
 
 impl<R: Read> Iterator for Records<R> {
@@ -352,16 +412,42 @@ where
     W: Write,
     T: RecordTransform + ?Sized,
 {
-    let reader = PcapReader::new(input)?;
+    rewrite_observed(input, out, transform, &mut xkit::obs::Metrics::new())
+}
+
+/// [`rewrite`], additionally folding the reader/writer counters into
+/// `obs` (`capture.frames_read`, `capture.bytes_read`,
+/// `capture.frames_rejected`, `capture.frames_written`,
+/// `capture.bytes_written`). On error the counters observed up to the
+/// failure are still merged.
+pub fn rewrite_observed<R, W, T>(
+    input: R,
+    out: W,
+    transform: &mut T,
+    obs: &mut xkit::obs::Metrics,
+) -> Result<u64, PcapError>
+where
+    R: Read,
+    W: Write,
+    T: RecordTransform + ?Sized,
+{
+    let mut reader = PcapReader::new(input)?;
     let mut w = PcapWriter::new(out, reader.snaplen(), TsPrecision::Nano)?;
-    for rec in reader.records() {
-        for r in transform.apply(rec?) {
+    let mut run = |reader: &mut PcapReader<R>, w: &mut PcapWriter<W>| -> Result<(), PcapError> {
+        while let Some(rec) = reader.next_packet()? {
+            for r in transform.apply(rec) {
+                w.write_packet(r.ts_nanos, &r.data, Some(r.orig_len))?;
+            }
+        }
+        for r in transform.flush() {
             w.write_packet(r.ts_nanos, &r.data, Some(r.orig_len))?;
         }
-    }
-    for r in transform.flush() {
-        w.write_packet(r.ts_nanos, &r.data, Some(r.orig_len))?;
-    }
+        Ok(())
+    };
+    let result = run(&mut reader, &mut w);
+    obs.merge(&reader.metrics());
+    obs.merge(&w.metrics());
+    result?;
     let n = w.packets_written();
     w.into_inner()?;
     Ok(n)
@@ -567,6 +653,38 @@ mod tests {
         let recs: Vec<_> = PcapReader::new(&out[..]).unwrap().records().map(|r| r.unwrap()).collect();
         let bytes: Vec<u8> = recs.iter().map(|r| r.data[0]).collect();
         assert_eq!(bytes, vec![b'b', b'b', b'c']);
+    }
+
+    #[test]
+    fn read_write_counters_account_for_every_byte() {
+        let buf = write_capture(TsPrecision::Nano, 96, &[(b"abc", None), (b"defgh", None)]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        while let Some(_) = r.next_packet().unwrap() {}
+        assert_eq!(r.records_read(), 2);
+        assert_eq!(r.bytes_read(), 8);
+        assert_eq!(r.records_rejected(), 0);
+        let m = r.metrics();
+        assert_eq!(m.counter("capture.frames_read"), 2);
+        assert_eq!(m.counter("capture.bytes_read"), 8);
+
+        let mut obs = xkit::obs::Metrics::new();
+        let mut out = Vec::new();
+        let n = rewrite_observed(&buf[..], &mut out, &mut |r: PcapRecord| vec![r], &mut obs)
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(obs.counter("capture.frames_read"), 2);
+        assert_eq!(obs.counter("capture.frames_written"), 2);
+        assert_eq!(obs.counter("capture.bytes_written"), 8);
+    }
+
+    #[test]
+    fn rejected_records_are_counted() {
+        let mut buf = write_capture(TsPrecision::Nano, 96, &[(b"abcdef", None)]);
+        buf.truncate(buf.len() - 2);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(r.next_packet().is_err());
+        assert_eq!(r.records_rejected(), 1);
+        assert_eq!(r.metrics().counter("capture.frames_rejected"), 1);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! printed as a table or serialized with [`Harness::to_json`] so future
 //! runs have a baseline to compare against.
 
-use std::time::{Duration, Instant};
+use crate::obs::clock;
+use std::time::Duration;
 
 /// Summary statistics for one benchmark.
 #[derive(Debug, Clone)]
@@ -113,7 +114,7 @@ impl Harness {
     {
         // Warmup, also used to size the per-sample iteration count.
         let mut warm_iters = 0u64;
-        let warm_start = Instant::now();
+        let warm_start = clock::now();
         while warm_start.elapsed() < self.warmup || warm_iters == 0 {
             std::hint::black_box(f());
             warm_iters += 1;
@@ -131,11 +132,11 @@ impl Harness {
         let mut samples_ns = Vec::with_capacity(self.samples);
         let mut total_iters = 0u64;
         for _ in 0..self.samples {
-            let start = Instant::now();
+            let start = clock::now();
             for _ in 0..iters_per_sample {
                 std::hint::black_box(f());
             }
-            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            let ns = start.elapsed_ns() as f64 / iters_per_sample as f64;
             samples_ns.push(ns);
             total_iters += iters_per_sample;
         }
@@ -157,23 +158,35 @@ impl Harness {
         self.notes.push((name.to_string(), value));
     }
 
-    /// Print an aligned summary table to stdout.
-    pub fn print_table(&self) {
-        println!("== bench group: {} ==", self.group);
+    /// The aligned summary table as a string, so callers choose the
+    /// stream (the repro harness sends it to stderr to keep stdout
+    /// machine-readable).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== bench group: {} ==\n", self.group));
         let width = self.results.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
-        println!("{:width$}  {:>12} {:>12} {:>12}", "name", "median", "p95", "mean");
+        out.push_str(&format!(
+            "{:width$}  {:>12} {:>12} {:>12}\n",
+            "name", "median", "p95", "mean"
+        ));
         for r in &self.results {
-            println!(
-                "{:width$}  {:>12} {:>12} {:>12}",
+            out.push_str(&format!(
+                "{:width$}  {:>12} {:>12} {:>12}\n",
                 r.name,
                 pretty_ns(r.median_ns),
                 pretty_ns(r.p95_ns),
                 pretty_ns(r.mean_ns),
-            );
+            ));
         }
         for (name, value) in &self.notes {
-            println!("{name} = {value:.3}");
+            out.push_str(&format!("{name} = {value:.3}\n"));
         }
+        out
+    }
+
+    /// Print the summary table to stdout (standalone bench targets).
+    pub fn print_table(&self) {
+        print!("{}", self.render_table());
     }
 
     /// Serialize the group to pretty-printed JSON.

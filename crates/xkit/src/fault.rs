@@ -112,6 +112,26 @@ impl FaultStats {
     pub fn faulted(&self) -> u64 {
         self.dropped + self.truncated + self.bit_flipped + self.duplicated + self.reordered
     }
+
+    /// Express the counters as an obs snapshot.
+    ///
+    /// Damage events live under `fault.*` (`fault.dropped`,
+    /// `fault.truncated`, …) so a clean run is recognizable as "every
+    /// `fault.*` damage counter is zero"; the pass-through frame counts
+    /// live under `fault.io.*` because they increment even when nothing
+    /// was damaged. Merging these snapshots is equivalent to
+    /// [`FaultStats::merge`].
+    pub fn to_metrics(&self) -> crate::obs::Metrics {
+        let mut m = crate::obs::Metrics::new();
+        m.add("fault.io.frames_in", self.frames_in);
+        m.add("fault.io.frames_out", self.frames_out);
+        m.add("fault.dropped", self.dropped);
+        m.add("fault.truncated", self.truncated);
+        m.add("fault.bit_flipped", self.bit_flipped);
+        m.add("fault.duplicated", self.duplicated);
+        m.add("fault.reordered", self.reordered);
+        m
+    }
 }
 
 /// One captured frame: timestamp, original wire length, captured bytes.

@@ -16,12 +16,15 @@
 //!
 //! On top of those, [`fault`] provides a seeded deterministic fault
 //! injector (drop/truncate/bit-flip/duplicate/reorder) used to prove the
-//! capture pipeline degrades gracefully under hostile input.
+//! capture pipeline degrades gracefully under hostile input, and [`obs`]
+//! provides the observability substrate — deterministic-merge metrics,
+//! stage spans, and the workspace's single monotonic-clock seam.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod fault;
+pub mod obs;
 pub mod par;
 pub mod rng;

@@ -1,0 +1,764 @@
+//! Mergeable metric snapshots: counters, gauges, log-scale histograms.
+//!
+//! [`Metrics`] is the single transport every pipeline stage speaks: a
+//! name-ordered map of [`Metric`] values that merges deterministically.
+//! Merging is exact — counters and histogram buckets are `u64` sums,
+//! gauges take the maximum, histogram `min`/`max` take the extrema — so
+//! folding per-shard snapshots in shard order yields byte-identical
+//! results for any worker count, the same discipline the simulator uses
+//! for its logs. Histograms deliberately carry **no floating-point running
+//! sum**: float addition is not associative, and an approximate sum would
+//! break the merge-order-independence the whole layer is built on. (The
+//! Prometheus `_sum` line is estimated from bucket midpoints at export
+//! time instead.)
+
+use std::collections::BTreeMap;
+
+/// Shape of a fixed-bucket log-scale histogram: `decades * per_decade`
+/// buckets spanning `[lo, lo * 10^decades)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSpec {
+    /// Lower edge of the first bucket (must be positive and finite).
+    pub lo: f64,
+    /// Number of powers of ten covered.
+    pub decades: u32,
+    /// Buckets per decade.
+    pub per_decade: u32,
+}
+
+impl HistSpec {
+    /// A log-scale spec, clamped to sane shape (at least one decade and
+    /// one bucket per decade, at most 4096 buckets, positive finite `lo`).
+    pub fn log(lo: f64, decades: u32, per_decade: u32) -> HistSpec {
+        let lo = if lo.is_finite() && lo > 0.0 { lo } else { 1e-3 };
+        let decades = decades.clamp(1, 64);
+        let per_decade = per_decade.clamp(1, 64);
+        HistSpec { lo, decades, per_decade }
+    }
+
+    /// Default spec for durations in milliseconds: 1 µs .. ~16.7 min,
+    /// four buckets per decade.
+    pub fn time_ms() -> HistSpec {
+        HistSpec::log(1e-3, 9, 4)
+    }
+
+    /// Default spec for sizes/rates: 1 .. 10^12, two buckets per decade.
+    pub fn magnitude() -> HistSpec {
+        HistSpec::log(1.0, 12, 2)
+    }
+
+    /// Number of in-range buckets.
+    pub fn buckets(&self) -> usize {
+        (self.decades * self.per_decade) as usize
+    }
+
+    /// The `buckets() + 1` bucket edges, ascending. Decade edges are the
+    /// exact products `lo * 10^k` (integer `powi`), so bucket boundaries
+    /// are reproducible and testable.
+    pub fn bounds(&self) -> Vec<f64> {
+        let pd = self.per_decade;
+        (0..=self.buckets() as u32)
+            .map(|i| {
+                let (dec, rem) = (i / pd, i % pd);
+                self.lo * 10f64.powi(dec as i32) * 10f64.powf(rem as f64 / pd as f64)
+            })
+            .collect()
+    }
+}
+
+/// Where a value lands in a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Bucket(usize),
+    Underflow,
+    Overflow,
+    Nonfinite,
+}
+
+/// A fixed-bucket log-scale histogram with exact (`u64`) merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    spec: HistSpec,
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    nonfinite: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given spec.
+    pub fn new(spec: HistSpec) -> Histogram {
+        let bounds = spec.bounds();
+        let buckets = spec.buckets();
+        Histogram {
+            spec,
+            bounds,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            nonfinite: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn slot(&self, v: f64) -> Slot {
+        if !v.is_finite() {
+            return Slot::Nonfinite;
+        }
+        if v < self.bounds[0] {
+            return Slot::Underflow;
+        }
+        if v >= self.bounds[self.bounds.len() - 1] {
+            return Slot::Overflow;
+        }
+        // First edge strictly greater than v; v lives in the bucket below.
+        let idx = self.bounds.partition_point(|b| *b <= v);
+        Slot::Bucket(idx - 1)
+    }
+
+    /// Record one value. Finite values update `count`/`min`/`max` and one
+    /// of the bucket / underflow / overflow counters; non-finite values
+    /// only bump the `nonfinite` counter.
+    pub fn observe(&mut self, v: f64) {
+        self.observe_n(v, 1)
+    }
+
+    /// Record the same value `n` times in O(1).
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.slot(v) {
+            Slot::Nonfinite => {
+                self.nonfinite += n;
+                return;
+            }
+            Slot::Underflow => self.underflow += n,
+            Slot::Overflow => self.overflow += n,
+            Slot::Bucket(i) => self.counts[i] += n,
+        }
+        self.count += n;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Fold another histogram into this one.
+    ///
+    /// Same-spec merges are exact `u64` sums (associative and commutative,
+    /// so merge order never changes the result). A cross-spec merge
+    /// re-records the other histogram's bucket geometric midpoints, which
+    /// preserves `count` and `min`/`max` exactly and bucket placement
+    /// approximately.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.spec == other.spec {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += *b;
+            }
+            self.underflow += other.underflow;
+            self.overflow += other.overflow;
+            self.nonfinite += other.nonfinite;
+            self.count += other.count;
+        } else {
+            // Re-recording midpoints must not perturb the exact extrema:
+            // snapshot them, re-record, then restore.
+            let (min, max) = (self.min, self.max);
+            for (i, &n) in other.counts.iter().enumerate() {
+                let mid = (other.bounds[i] * other.bounds[i + 1]).sqrt();
+                self.observe_n(mid, n);
+            }
+            self.observe_n(other.bounds[0] / 2.0, other.underflow);
+            self.observe_n(other.bounds[other.bounds.len() - 1], other.overflow);
+            self.nonfinite += other.nonfinite;
+            self.min = min;
+            self.max = max;
+        }
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// The spec this histogram was built from.
+    pub fn spec(&self) -> HistSpec {
+        self.spec
+    }
+
+    /// Bucket edges (`buckets() + 1` ascending values).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, aligned with [`bounds`](Histogram::bounds).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Finite values recorded (includes underflow and overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Values below the first bucket edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Values at or above the last bucket edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// NaN/infinite values offered (never counted in `count`).
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
+    /// Smallest finite value recorded, `None` when empty. Exact under
+    /// merge.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest finite value recorded, `None` when empty. Exact under
+    /// merge.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Replace the tracked extrema with exact values read elsewhere
+    /// (registry snapshots transfer their atomic min/max through this).
+    /// No-op on an empty histogram.
+    pub(crate) fn with_exact_extrema(mut self, min: f64, max: f64) -> Histogram {
+        if self.count > 0 {
+            self.min = min;
+            self.max = max;
+        }
+        self
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from bucket geometric
+    /// midpoints; `None` when empty. Underflow resolves to `min`,
+    /// overflow to `max`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = self.underflow;
+        if rank < seen {
+            return Some(self.min);
+        }
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if rank < seen {
+                let mid = (self.bounds[i] * self.bounds[i + 1]).sqrt();
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Estimated sum of recorded values (bucket geometric midpoints;
+    /// under/overflow contribute `min`/`max`). Export-time convenience
+    /// only — never merged, so it cannot perturb determinism.
+    pub fn sum_estimate(&self) -> f64 {
+        let mut sum = self.underflow as f64 * if self.underflow > 0 { self.min } else { 0.0 };
+        sum += self.overflow as f64 * if self.overflow > 0 { self.max } else { 0.0 };
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                sum += n as f64 * (self.bounds[i] * self.bounds[i + 1]).sqrt();
+            }
+        }
+        sum
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count; merges by summation.
+    Counter(u64),
+    /// Level/peak reading; merges by maximum (the only float gauge merge
+    /// that is exact, associative, and commutative).
+    Gauge(f64),
+    /// Distribution; merges bucket-wise (see [`Histogram::merge`]).
+    Hist(Histogram),
+}
+
+/// A name-ordered, deterministic-merge metric snapshot.
+///
+/// This is both the per-shard recorder used on hot paths that don't need
+/// atomics, and the snapshot type the atomic
+/// [`Registry`](crate::obs::Registry) produces — one merge path for
+/// everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    map: BTreeMap<String, Metric>,
+}
+
+impl Metrics {
+    /// An empty snapshot.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.map.get_mut(name) {
+            Some(Metric::Counter(c)) => *c += n,
+            Some(_) => self.conflict(),
+            None => {
+                self.map.insert(name.to_string(), Metric::Counter(n));
+            }
+        }
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Raise the gauge `name` to at least `v` (creating it at `v`).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        match self.map.get_mut(name) {
+            Some(Metric::Gauge(g)) => {
+                if v > *g {
+                    *g = v;
+                }
+            }
+            Some(_) => self.conflict(),
+            None => {
+                self.map.insert(name.to_string(), Metric::Gauge(v));
+            }
+        }
+    }
+
+    /// Record `v` into the histogram `name`, creating it with `spec` on
+    /// first use.
+    pub fn observe_with(&mut self, name: &str, spec: HistSpec, v: f64) {
+        match self.map.get_mut(name) {
+            Some(Metric::Hist(h)) => h.observe(v),
+            Some(_) => self.conflict(),
+            None => {
+                let mut h = Histogram::new(spec);
+                h.observe(v);
+                self.map.insert(name.to_string(), Metric::Hist(h));
+            }
+        }
+    }
+
+    /// Record `v` into the histogram `name` with the default
+    /// [`HistSpec::time_ms`] spec.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.observe_with(name, HistSpec::time_ms(), v);
+    }
+
+    /// Insert a pre-built metric under `name`, replacing any previous one.
+    pub fn insert(&mut self, name: &str, metric: Metric) {
+        self.map.insert(name.to_string(), metric);
+    }
+
+    /// A kind mismatch is a programming error, but the layer is panic-free
+    /// by contract: record the conflict and keep the existing metric.
+    fn conflict(&mut self) {
+        let e = self
+            .map
+            .entry("obs.kind_conflicts".to_string())
+            .or_insert(Metric::Counter(0));
+        if let Metric::Counter(c) = e {
+            *c += 1;
+        }
+    }
+
+    /// The metric under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.map.get(name)
+    }
+
+    /// Counter value (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.map.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.map.get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Histogram under `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        match self.map.get(name) {
+            Some(Metric::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name starts with `prefix` (invariant
+    /// checks: `sum_counters("zeek.reject.")`).
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                Metric::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Iterate metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fold another snapshot into this one (exact; order-independent for
+    /// counters, gauges, and same-spec histograms).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, metric) in &other.map {
+            match (self.map.get_mut(name), metric) {
+                (None, m) => {
+                    self.map.insert(name.clone(), m.clone());
+                }
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += *b,
+                (Some(Metric::Gauge(a)), Metric::Gauge(b)) => {
+                    if *b > *a {
+                        *a = *b;
+                    }
+                }
+                (Some(Metric::Hist(a)), Metric::Hist(b)) => a.merge(b),
+                (Some(_), _) => self.conflict(),
+            }
+        }
+    }
+}
+
+/// Render a float as a JSON token (`null` for non-finite; shortest
+/// round-trip decimal otherwise, so re-parsing is lossless).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Metrics {
+    /// Canonical JSON object, one line per metric, keys in name order.
+    /// Two snapshots with equal contents render byte-identically, which
+    /// is what the `--threads N` determinism check compares.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&crate::bench::json_string(name));
+            out.push_str(": ");
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.to_string()),
+                Metric::Gauge(g) => {
+                    out.push_str("{\"gauge\": ");
+                    out.push_str(&json_f64(*g));
+                    out.push('}');
+                }
+                Metric::Hist(h) => {
+                    out.push_str(&format!(
+                        "{{\"hist\": {{\"lo\": {}, \"decades\": {}, \"per_decade\": {}, \
+                         \"count\": {}, \"underflow\": {}, \"overflow\": {}, \
+                         \"nonfinite\": {}, \"min\": {}, \"max\": {}, \"counts\": [",
+                        json_f64(h.spec.lo),
+                        h.spec.decades,
+                        h.spec.per_decade,
+                        h.count,
+                        h.underflow,
+                        h.overflow,
+                        h.nonfinite,
+                        h.min().map_or("null".into(), json_f64),
+                        h.max().map_or("null".into(), json_f64),
+                    ));
+                    for (j, n) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&n.to_string());
+                    }
+                    out.push_str("]}}");
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Human-readable aligned table.
+    pub fn render_table(&self) -> String {
+        let width = self.map.keys().map(|k| k.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        for (name, metric) in &self.map {
+            let value = match metric {
+                Metric::Counter(c) => c.to_string(),
+                Metric::Gauge(g) => format!("{g} (gauge)"),
+                Metric::Hist(h) => match (h.min(), h.max(), h.quantile(0.5), h.quantile(0.95)) {
+                    (Some(min), Some(max), Some(p50), Some(p95)) => format!(
+                        "n={} min={min:.3} p50~{p50:.3} p95~{p95:.3} max={max:.3}",
+                        h.count()
+                    ),
+                    _ => format!("n=0 (+{} nonfinite)", h.nonfinite()),
+                },
+            };
+            out.push_str(&format!("{name:width$}  {value}\n"));
+        }
+        out
+    }
+
+    /// Prometheus text exposition format. Metric names are prefixed with
+    /// `namespace_` and sanitized (every non `[a-zA-Z0-9_:]` byte becomes
+    /// `_`); histograms emit cumulative `_bucket{le=...}` lines plus the
+    /// conventional `_sum` (midpoint estimate) and `_count`.
+    pub fn to_prometheus(&self, namespace: &str) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+                .collect()
+        };
+        let mut out = String::new();
+        for (name, metric) in &self.map {
+            let full = format!("{}_{}", sanitize(namespace), sanitize(name));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {full} counter\n{full} {c}\n"));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {full} gauge\n{full} {g}\n"));
+                }
+                Metric::Hist(h) => {
+                    out.push_str(&format!("# TYPE {full} histogram\n"));
+                    let mut cum = h.underflow;
+                    for (i, n) in h.counts.iter().enumerate() {
+                        cum += n;
+                        out.push_str(&format!(
+                            "{full}_bucket{{le=\"{}\"}} {cum}\n",
+                            h.bounds[i + 1]
+                        ));
+                    }
+                    cum += h.overflow;
+                    out.push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{full}_sum {}\n", h.sum_estimate()));
+                    out.push_str(&format!("{full}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_bounds_are_exact_at_decades() {
+        let spec = HistSpec::log(1e-3, 3, 4);
+        let b = spec.bounds();
+        assert_eq!(b.len(), 13);
+        assert_eq!(b[0], 1e-3);
+        assert_eq!(b[4], 1e-3 * 10.0);
+        assert_eq!(b[8], 1e-3 * 100.0);
+        assert_eq!(b[12], 1e-3 * 1000.0);
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "edges strictly ascending");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        let mut h = Histogram::new(HistSpec::log(1.0, 2, 2));
+        let bounds = h.bounds().to_vec();
+        // A value exactly on edge i belongs to bucket i, not i-1.
+        for (i, &edge) in bounds.iter().enumerate().take(bounds.len() - 1) {
+            h.observe(edge);
+            assert_eq!(h.bucket_counts()[i], 1, "edge {edge} lands in bucket {i}");
+        }
+        // The last edge overflows.
+        h.observe(bounds[bounds.len() - 1]);
+        assert_eq!(h.overflow(), 1);
+        // Just below the first edge underflows.
+        h.observe(bounds[0] * 0.999);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn log_scale_edge_values() {
+        let mut h = Histogram::new(HistSpec::time_ms());
+        h.observe(0.0); // below lo=1e-3
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(1e-3); // exactly lo → first bucket
+        h.observe(1e9); // way past the top
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.nonfinite(), 3);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.count(), 4, "nonfinite never enters count");
+        assert_eq!(h.min(), Some(-5.0));
+        assert_eq!(h.max(), Some(1e9));
+    }
+
+    fn filled(seed: u64, n: usize) -> Histogram {
+        let mut h = Histogram::new(HistSpec::time_ms());
+        let mut x = seed.wrapping_mul(2).wrapping_add(1);
+        for _ in 0..n {
+            // Cheap LCG spread across many decades.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.observe((x % 1_000_000) as f64 / 7.0 + 1e-4);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let (a, b, c) = (filled(1, 500), filled(2, 700), filled(3, 300));
+        // a+(b+c) == (a+b)+c
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut left = a.clone();
+        left.merge(&bc);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut right = ab;
+        right.merge(&c);
+        assert_eq!(left, right, "associativity");
+        // a+b == b+a
+        let mut ab2 = a.clone();
+        ab2.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab2, ba, "commutativity");
+        assert_eq!(left.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn cross_spec_merge_preserves_count_and_extrema() {
+        let mut a = Histogram::new(HistSpec::time_ms());
+        a.observe(5.0);
+        let mut b = Histogram::new(HistSpec::magnitude());
+        b.observe(2.0);
+        b.observe(1e14); // overflow in b
+        b.observe(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.nonfinite(), 1);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(1e14));
+    }
+
+    #[test]
+    fn quantile_and_sum_are_sane() {
+        let mut h = Histogram::new(HistSpec::time_ms());
+        for _ in 0..100 {
+            h.observe(10.0);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((5.0..=20.0).contains(&p50), "p50 {p50} near 10");
+        let sum = h.sum_estimate();
+        assert!((500.0..=2000.0).contains(&sum), "sum {sum} near 1000");
+        assert_eq!(Histogram::new(HistSpec::time_ms()).quantile(0.5), None);
+    }
+
+    #[test]
+    fn metrics_counters_gauges_and_conflicts() {
+        let mut m = Metrics::new();
+        m.inc("a.x");
+        m.add("a.x", 4);
+        m.gauge_max("g", 2.0);
+        m.gauge_max("g", 1.0);
+        m.gauge_max("g", 7.5);
+        m.gauge_max("g", f64::NAN);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.gauge("g"), Some(7.5));
+        // Kind conflict: recorded, never panics, existing metric kept.
+        m.gauge_max("a.x", 1.0);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("obs.kind_conflicts"), 1);
+    }
+
+    #[test]
+    fn metrics_merge_matches_single_stream() {
+        let mut whole = Metrics::new();
+        let mut parts: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+        for i in 0..1000u64 {
+            let v = (i % 97) as f64 + 0.5;
+            whole.add("n", 1);
+            whole.observe("h", v);
+            whole.gauge_max("g", v);
+            let p = &mut parts[(i % 4) as usize];
+            p.add("n", 1);
+            p.observe("h", v);
+            p.gauge_max("g", v);
+        }
+        let mut merged = Metrics::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn sum_counters_by_prefix() {
+        let mut m = Metrics::new();
+        m.add("zeek.reject.a", 2);
+        m.add("zeek.reject.b", 3);
+        m.add("zeek.other", 100);
+        m.gauge_max("zeek.reject.gauge", 9.0);
+        assert_eq!(m.sum_counters("zeek.reject."), 5);
+    }
+
+    #[test]
+    fn exports_render() {
+        let mut m = Metrics::new();
+        m.add("pair.hit", 3);
+        m.gauge_max("zeek.peak", 4.0);
+        m.observe("pair.gap_ms", 12.0);
+        let table = m.render_table();
+        assert!(table.contains("pair.hit"));
+        assert!(table.contains("n=1"));
+        let prom = m.to_prometheus("dnsctx");
+        assert!(prom.contains("# TYPE dnsctx_pair_hit counter"));
+        assert!(prom.contains("dnsctx_pair_gap_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("dnsctx_pair_gap_ms_count 1"));
+        assert!(prom.contains("# TYPE dnsctx_zeek_peak gauge"));
+    }
+}

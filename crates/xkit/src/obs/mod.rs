@@ -1,0 +1,39 @@
+//! Zero-dependency observability: metrics, spans, and the clock seam.
+//!
+//! The pipeline computes the paper's per-stage aggregates — pairing
+//! coverage, class mix, blocking delay — and this module is how every
+//! stage reports what it did. Four pieces:
+//!
+//! * [`clock`] — the workspace's only monotonic-clock access point.
+//!   `scripts/verify.sh` denies `Instant::now()` outside `xkit`, so all
+//!   timing flows through here.
+//! * [`Metrics`] — a name-ordered snapshot of counters, max-merged
+//!   gauges, and fixed-bucket log-scale [`Histogram`]s whose merge is
+//!   exact (`u64` arithmetic, no float sums). Per-shard snapshots folded
+//!   in shard order are byte-identical for any `--threads N`, the same
+//!   discipline the simulator uses for its logs.
+//! * [`Registry`] — thread-safe atomic handles ([`Counter`], [`Gauge`],
+//!   [`HistogramHandle`]) that snapshot into the same [`Metrics`] type,
+//!   so concurrent and per-shard recording share one merge/export path.
+//! * [`SpanLog`] — driver-side stage timers rendered as an indented tree.
+//!   Span wall times are non-deterministic by nature and live next to —
+//!   never inside — the byte-compared metrics section.
+//!
+//! Exporters: [`Metrics::render_table`] (human), [`Metrics::to_json`]
+//! (canonical, re-parseable via [`json`]), and
+//! [`Metrics::to_prometheus`] (text exposition format).
+//!
+//! Naming conventions (see DESIGN.md §9): `stage.*` spans, `capture.*`
+//! pcap I/O, `zeek.*` monitor + degradation, `sim.*`/`resolver.*`
+//! simulator, `pair.*`/`class.*`/`threshold.*`/`perf.*`/`cover.*`
+//! analysis, `fault.*` injector damage.
+
+pub mod clock;
+pub mod json;
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{HistSpec, Histogram, Metric, Metrics};
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
+pub use span::{SpanId, SpanLog, SpanRecord};

@@ -1,0 +1,338 @@
+//! Thread-safe metric handles and the registry that snapshots them.
+//!
+//! Hot per-shard code should prefer a plain [`Metrics`] recorder merged in
+//! shard order (exactly deterministic, no synchronization). The
+//! [`Registry`] is for genuinely concurrent recording — counters bumped
+//! from several workers at once — and produces the same [`Metrics`]
+//! snapshot type, so both paths share one merge/export pipeline.
+
+use super::metrics::{HistSpec, Histogram, Metric, Metrics};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared atomic counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared atomic gauge (f64 stored as bits, merged by maximum).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Raise the gauge to at least `v` (lock-free CAS loop; the final
+    /// value is the maximum of all writes regardless of interleaving).
+    pub fn set_max(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct AtomicHist {
+    spec: HistSpec,
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    nonfinite: AtomicU64,
+    count: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A shared atomic histogram handle.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<AtomicHist>);
+
+impl HistogramHandle {
+    fn new(spec: HistSpec) -> HistogramHandle {
+        let bounds = spec.bounds();
+        let counts = (0..spec.buckets()).map(|_| AtomicU64::new(0)).collect();
+        HistogramHandle(Arc::new(AtomicHist {
+            spec,
+            bounds,
+            counts,
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            nonfinite: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+
+    /// Record one value (same bucket semantics as
+    /// [`Histogram::observe`]).
+    pub fn observe(&self, v: f64) {
+        let h = &*self.0;
+        if !v.is_finite() {
+            h.nonfinite.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if v < h.bounds[0] {
+            h.underflow.fetch_add(1, Ordering::Relaxed);
+        } else if v >= h.bounds[h.bounds.len() - 1] {
+            h.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = h.bounds.partition_point(|b| *b <= v) - 1;
+            h.counts[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        h.count.fetch_add(1, Ordering::Relaxed);
+        cas_extreme(&h.min_bits, v, |cur, v| v < cur);
+        cas_extreme(&h.max_bits, v, |cur, v| v > cur);
+    }
+
+    /// Snapshot into a plain mergeable [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let h = &*self.0;
+        let mut out = Histogram::new(h.spec);
+        for (i, c) in h.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                // Geometric bucket midpoint keeps the value inside its
+                // own bucket, so counts transfer exactly.
+                let mid = (h.bounds[i] * h.bounds[i + 1]).sqrt();
+                out.observe_n(mid, n);
+            }
+        }
+        out.observe_n(h.bounds[0] / 2.0, h.underflow.load(Ordering::Relaxed));
+        out.observe_n(
+            h.bounds[h.bounds.len() - 1] * 2.0,
+            h.overflow.load(Ordering::Relaxed),
+        );
+        let mut out = out.with_exact_extrema(
+            f64::from_bits(h.min_bits.load(Ordering::Relaxed)),
+            f64::from_bits(h.max_bits.load(Ordering::Relaxed)),
+        );
+        out.observe_n(f64::NAN, h.nonfinite.load(Ordering::Relaxed));
+        out
+    }
+}
+
+/// CAS loop updating an f64-bits cell toward an extremum.
+fn cas_extreme(cell: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if !better(f64::from_bits(cur), v) {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Hist(HistogramHandle),
+}
+
+/// A thread-safe registry of named metric handles.
+///
+/// Cloning shares the underlying store; [`snapshot`](Registry::snapshot)
+/// reads every handle into a plain [`Metrics`] for merging/export.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Handle>>>,
+    conflicts: Arc<AtomicU64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn with_map<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Handle>) -> R) -> R {
+        match self.inner.lock() {
+            Ok(mut guard) => f(&mut guard),
+            // A poisoned lock only means another thread panicked while
+            // registering; the map itself is still a valid metric store.
+            Err(poison) => f(&mut poison.into_inner()),
+        }
+    }
+
+    /// The counter registered under `name` (created on first use).
+    /// A kind mismatch returns a detached handle and bumps the
+    /// `obs.kind_conflicts` counter in snapshots.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.with_map(|map| {
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Handle::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+            {
+                Handle::Counter(c) => c.clone(),
+                _ => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    Counter(Arc::new(AtomicU64::new(0)))
+                }
+            }
+        })
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.with_map(|map| {
+            match map.entry(name.to_string()).or_insert_with(|| {
+                Handle::Gauge(Gauge(Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits()))))
+            }) {
+                Handle::Gauge(g) => g.clone(),
+                _ => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    Gauge(Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits())))
+                }
+            }
+        })
+    }
+
+    /// The histogram registered under `name` (created with `spec` on
+    /// first use; later `spec`s are ignored).
+    pub fn histogram(&self, name: &str, spec: HistSpec) -> HistogramHandle {
+        self.with_map(|map| {
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Handle::Hist(HistogramHandle::new(spec)))
+            {
+                Handle::Hist(h) => h.clone(),
+                _ => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    HistogramHandle::new(spec)
+                }
+            }
+        })
+    }
+
+    /// Read every handle into a plain snapshot. Gauges that were never
+    /// written are omitted.
+    pub fn snapshot(&self) -> Metrics {
+        let mut out = Metrics::new();
+        self.with_map(|map| {
+            for (name, handle) in map.iter() {
+                match handle {
+                    Handle::Counter(c) => out.insert(name, Metric::Counter(c.get())),
+                    Handle::Gauge(g) => {
+                        let v = g.get();
+                        if v.is_finite() {
+                            out.insert(name, Metric::Gauge(v));
+                        }
+                    }
+                    Handle::Hist(h) => out.insert(name, Metric::Hist(h.snapshot())),
+                }
+            }
+        });
+        let conflicts = self.conflicts.load(Ordering::Relaxed);
+        if conflicts > 0 {
+            out.add("obs.kind_conflicts", conflicts);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        let g = reg.gauge("peak");
+        crate::par::par_map(4, (0..8u64).collect(), |_, i| {
+            for _ in 0..1000 {
+                c.inc();
+            }
+            g.set_max(i as f64);
+            i
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), 8000);
+        assert_eq!(snap.gauge("peak"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_snapshot_preserves_counts_and_extrema() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", HistSpec::time_ms());
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(1e12); // overflow
+        h.observe(1e-9); // underflow
+        h.observe(f64::NAN);
+        let snap = reg.snapshot();
+        let hist = snap.hist("lat").unwrap();
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.overflow(), 1);
+        assert_eq!(hist.underflow(), 1);
+        assert_eq!(hist.nonfinite(), 1);
+        assert_eq!(hist.min(), Some(1e-9));
+        assert_eq!(hist.max(), Some(1e12));
+    }
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let reg = Registry::new();
+        reg.counter("x").add(2);
+        reg.counter("x").add(3);
+        assert_eq!(reg.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn kind_conflict_is_detached_and_counted() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        let g = reg.gauge("x"); // wrong kind: detached
+        g.set_max(9.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), 1);
+        assert_eq!(snap.counter("obs.kind_conflicts"), 1);
+    }
+
+    #[test]
+    fn unwritten_gauge_is_omitted() {
+        let reg = Registry::new();
+        let _ = reg.gauge("never");
+        assert!(reg.snapshot().gauge("never").is_none());
+    }
+}

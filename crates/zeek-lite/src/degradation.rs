@@ -10,6 +10,36 @@
 use dns_wire::WireError;
 use netpkt::PktError;
 use std::fmt;
+use xkit::obs::Metrics;
+
+/// Field ↔ metric-name table shared by `to_metrics`, `from_metrics`, and
+/// `merge`, so the struct and its obs counters cannot drift apart. Frame
+/// rejections live under `zeek.reject.*` and DNS rejections under
+/// `zeek.reject_dns.*` (disjoint prefixes, so prefix sums stay layered).
+macro_rules! degradation_fields {
+    ($mac:ident) => {
+        $mac! {
+            frames_seen => "zeek.frames_seen",
+            frames_accepted => "zeek.frames_accepted",
+            truncated_ethernet => "zeek.reject.truncated_ethernet",
+            truncated_ipv4 => "zeek.reject.truncated_ipv4",
+            truncated_transport => "zeek.reject.truncated_transport",
+            unsupported_ethertype => "zeek.reject.unsupported_ethertype",
+            not_ipv4 => "zeek.reject.not_ipv4",
+            bad_ipv4_header => "zeek.reject.bad_ipv4_header",
+            bad_checksum => "zeek.reject.bad_checksum",
+            unsupported_protocol => "zeek.reject.unsupported_protocol",
+            bad_tcp_offset => "zeek.reject.bad_tcp_offset",
+            dns_payloads => "zeek.dns_payloads",
+            dns_accepted => "zeek.dns_accepted",
+            dns_truncated => "zeek.reject_dns.truncated",
+            dns_bad_name => "zeek.reject_dns.bad_name",
+            dns_bad_pointer => "zeek.reject_dns.bad_pointer",
+            dns_length_mismatch => "zeek.reject_dns.length_mismatch",
+            dns_other => "zeek.reject_dns.other",
+        }
+    };
+}
 
 /// Classified counts of every frame and DNS payload the monitor rejected.
 ///
@@ -93,26 +123,40 @@ impl DegradationStats {
         }
     }
 
+    /// Express the counters as an obs snapshot (the transport every
+    /// stage shares); `from_metrics` inverts it exactly.
+    pub fn to_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        macro_rules! emit {
+            ($($field:ident => $name:literal,)*) => {
+                $( m.add($name, self.$field); )*
+            };
+        }
+        degradation_fields!(emit);
+        m
+    }
+
+    /// Rebuild the struct view from an obs snapshot (absent counters read
+    /// as zero, extra metrics are ignored).
+    pub fn from_metrics(m: &Metrics) -> DegradationStats {
+        let mut d = DegradationStats::default();
+        macro_rules! load {
+            ($($field:ident => $name:literal,)*) => {
+                $( d.$field = m.counter($name); )*
+            };
+        }
+        degradation_fields!(load);
+        d
+    }
+
     /// Fold another capture's (or shard's) counters into this one.
+    ///
+    /// Routed through the obs snapshot so there is exactly one merge path
+    /// for these counters; this struct is a thin view over it.
     pub fn merge(&mut self, other: &DegradationStats) {
-        self.frames_seen += other.frames_seen;
-        self.frames_accepted += other.frames_accepted;
-        self.truncated_ethernet += other.truncated_ethernet;
-        self.truncated_ipv4 += other.truncated_ipv4;
-        self.truncated_transport += other.truncated_transport;
-        self.unsupported_ethertype += other.unsupported_ethertype;
-        self.not_ipv4 += other.not_ipv4;
-        self.bad_ipv4_header += other.bad_ipv4_header;
-        self.bad_checksum += other.bad_checksum;
-        self.unsupported_protocol += other.unsupported_protocol;
-        self.bad_tcp_offset += other.bad_tcp_offset;
-        self.dns_payloads += other.dns_payloads;
-        self.dns_accepted += other.dns_accepted;
-        self.dns_truncated += other.dns_truncated;
-        self.dns_bad_name += other.dns_bad_name;
-        self.dns_bad_pointer += other.dns_bad_pointer;
-        self.dns_length_mismatch += other.dns_length_mismatch;
-        self.dns_other += other.dns_other;
+        let mut m = self.to_metrics();
+        m.merge(&other.to_metrics());
+        *self = DegradationStats::from_metrics(&m);
     }
 
     /// Frames rejected at any layer.
@@ -283,6 +327,41 @@ mod tests {
         assert!(!a.is_clean());
         assert!(DegradationStats::default().is_clean());
         assert_eq!(DegradationStats::default().frame_acceptance(), 1.0);
+    }
+
+    #[test]
+    fn metrics_round_trip_is_exact() {
+        // Populate every field with a distinct value so a dropped or
+        // swapped mapping cannot cancel out.
+        let mut d = DegradationStats::default();
+        let errors: [PktError; 3] = [
+            PktError::Truncated { layer: "ethernet", need: 14, have: 3 },
+            PktError::BadChecksum { layer: "ipv4" },
+            PktError::NotIpv4(6),
+        ];
+        for (i, e) in errors.iter().enumerate() {
+            for _ in 0..=i {
+                d.record_pkt_error(e);
+            }
+        }
+        d.frames_seen = 100;
+        d.frames_accepted = 94;
+        d.dns_payloads = 40;
+        d.dns_accepted = 37;
+        d.record_dns_error(&WireError::EmptyLabel);
+        d.record_dns_error(&WireError::BadTcpFrame);
+        d.record_dns_error(&WireError::BadPointer { target: 9 });
+        let m = d.to_metrics();
+        assert_eq!(DegradationStats::from_metrics(&m), d);
+        // The layered prefixes keep frame and dns rejects separable.
+        assert_eq!(m.sum_counters("zeek.reject."), d.frames_rejected());
+        assert_eq!(m.sum_counters("zeek.reject_dns."), d.dns_rejected());
+        // The struct merge and the metrics merge are the same operation.
+        let mut via_struct = d.clone();
+        via_struct.merge(&d);
+        let mut via_metrics = d.to_metrics();
+        via_metrics.merge(&d.to_metrics());
+        assert_eq!(via_struct.to_metrics(), via_metrics);
     }
 
     #[test]

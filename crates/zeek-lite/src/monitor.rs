@@ -10,6 +10,24 @@ use netpkt::{Packet, PktError, Transport};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::Ipv4Addr;
+use xkit::obs::{HistSpec, Metrics};
+
+/// Field ↔ metric-name table for the monitor's summing counters
+/// (`peak_active_flows` is a max-merged gauge and is handled separately).
+macro_rules! monitor_counters {
+    ($mac:ident) => {
+        $mac! {
+            packets => "zeek.packets",
+            wire_bytes => "zeek.wire_bytes",
+            non_ipv4 => "zeek.non_ipv4",
+            non_udp_tcp => "zeek.non_udp_tcp",
+            parse_errors => "zeek.parse_errors",
+            dot_port_packets => "zeek.dot_port_packets",
+            dns_messages => "zeek.dns_messages",
+            dns_decode_errors => "zeek.dns_decode_errors",
+        }
+    };
+}
 
 /// Monitor tuning knobs. Defaults follow Bro's, which the paper relies on.
 #[derive(Debug, Clone)]
@@ -55,6 +73,49 @@ pub struct MonitorStats {
     pub dns_messages: u64,
     /// Port-53 payloads that failed DNS decoding.
     pub dns_decode_errors: u64,
+    /// Highest number of simultaneously tracked flows (tracker occupancy
+    /// high-water mark; merges by maximum, not sum).
+    pub peak_active_flows: u64,
+}
+
+impl MonitorStats {
+    /// Express the counters as an obs snapshot; `from_metrics` inverts it
+    /// exactly. `peak_active_flows` travels as the max-merged gauge
+    /// `zeek.peak_active_flows`.
+    pub fn to_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        macro_rules! emit {
+            ($($field:ident => $name:literal,)*) => {
+                $( m.add($name, self.$field); )*
+            };
+        }
+        monitor_counters!(emit);
+        m.gauge_max("zeek.peak_active_flows", self.peak_active_flows as f64);
+        m
+    }
+
+    /// Rebuild the struct view from an obs snapshot (absent metrics read
+    /// as zero, extra metrics are ignored).
+    pub fn from_metrics(m: &Metrics) -> MonitorStats {
+        let mut s = MonitorStats::default();
+        macro_rules! load {
+            ($($field:ident => $name:literal,)*) => {
+                $( s.$field = m.counter($name); )*
+            };
+        }
+        monitor_counters!(load);
+        s.peak_active_flows = m.gauge("zeek.peak_active_flows").unwrap_or(0.0) as u64;
+        s
+    }
+
+    /// Fold another capture's counters into this one, through the obs
+    /// snapshot so there is one merge path (counters sum, the occupancy
+    /// peak takes the maximum).
+    pub fn merge(&mut self, other: &MonitorStats) {
+        let mut m = self.to_metrics();
+        m.merge(&other.to_metrics());
+        *self = MonitorStats::from_metrics(&m);
+    }
 }
 
 /// Everything a capture produced.
@@ -83,18 +144,29 @@ impl Logs {
     pub fn merge(&mut self, other: Logs) {
         self.conns.extend(other.conns);
         self.dns.extend(other.dns);
-        let s = &mut self.stats;
-        let o = other.stats;
-        s.packets += o.packets;
-        s.wire_bytes += o.wire_bytes;
-        s.non_ipv4 += o.non_ipv4;
-        s.non_udp_tcp += o.non_udp_tcp;
-        s.parse_errors += o.parse_errors;
-        s.dot_port_packets += o.dot_port_packets;
-        s.dns_messages += o.dns_messages;
-        s.dns_decode_errors += o.dns_decode_errors;
+        self.stats.merge(&other.stats);
         self.degradation.merge(&other.degradation);
         self.sort();
+    }
+
+    /// Everything these logs can report as one obs snapshot: the monitor
+    /// counters, the degradation buckets, row counts
+    /// (`zeek.conn_rows`/`zeek.dns_rows`/`zeek.app_conns`), and a
+    /// `zeek.dns_rtt_ms` histogram over answered lookups. Histograms are
+    /// multisets, so the snapshot is identical however the rows were
+    /// sharded or ordered.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.stats.to_metrics();
+        m.merge(&self.degradation.to_metrics());
+        m.add("zeek.conn_rows", self.conns.len() as u64);
+        m.add("zeek.dns_rows", self.dns.len() as u64);
+        m.add("zeek.app_conns", self.app_conns().count() as u64);
+        for d in &self.dns {
+            if let Some(rtt) = d.rtt {
+                m.observe_with("zeek.dns_rtt_ms", HistSpec::time_ms(), rtt.as_millis_f64());
+            }
+        }
+        m
     }
 
     /// Sort both logs by timestamp (stable, so equal stamps keep insertion
@@ -252,6 +324,8 @@ impl Monitor {
             seq,
             payload_len: pkt.declared_payload as u64,
         });
+        self.stats.peak_active_flows =
+            self.stats.peak_active_flows.max(self.tracker.active_flows() as u64);
         // DNS transaction extraction from UDP port-53 payloads.
         if proto == Proto::Udp && (src_port == dns_wire::DNS_PORT || dst_port == dns_wire::DNS_PORT) {
             self.handle_dns_payload(ts, pkt.ip.src, pkt.ip.dst, pkt.payload);
@@ -624,5 +698,48 @@ mod tests {
         let logs = Monitor::process_pcap(&buf[..], MonitorConfig::default()).unwrap();
         assert_eq!(logs.dns.len(), 1);
         assert_eq!(logs.dns[0].rtt, Some(Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn stats_metrics_round_trip_and_peak_max_merge() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1000, &dns_query(7, "peak.example.com"));
+        feed(&mut m, 1008, &dns_response(7, "peak.example.com", SERVER, 300));
+        let logs = m.finish();
+        assert!(logs.stats.peak_active_flows >= 1);
+        // Exact struct ↔ metrics round trip.
+        let snap = logs.stats.to_metrics();
+        assert_eq!(MonitorStats::from_metrics(&snap), logs.stats);
+        // Counters sum, the occupancy peak takes the max.
+        let mut a = MonitorStats {
+            packets: 3,
+            peak_active_flows: 5,
+            ..MonitorStats::default()
+        };
+        let b = MonitorStats {
+            packets: 4,
+            peak_active_flows: 2,
+            ..MonitorStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.packets, 7);
+        assert_eq!(a.peak_active_flows, 5);
+    }
+
+    #[test]
+    fn logs_metrics_cover_rows_and_rtt() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        feed(&mut m, 1000, &dns_query(1, "a.example.com"));
+        feed(&mut m, 1010, &dns_response(1, "a.example.com", SERVER, 60));
+        feed(&mut m, 2000, &dns_query(2, "b.example.com"));
+        let logs = m.finish();
+        let snap = logs.metrics();
+        assert_eq!(snap.counter("zeek.conn_rows"), logs.conns.len() as u64);
+        assert_eq!(snap.counter("zeek.dns_rows"), 2);
+        // Only the answered lookup lands in the RTT histogram.
+        let h = snap.hist("zeek.dns_rtt_ms").unwrap();
+        assert_eq!(h.count(), 1);
+        // Degradation counters ride along in the same snapshot.
+        assert_eq!(snap.counter("zeek.frames_seen"), logs.degradation.frames_seen);
     }
 }

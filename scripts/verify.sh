@@ -27,6 +27,27 @@ cargo test -q --offline -p dns-wire --test fuzz_smoke
 cargo test -q --offline -p zeek-lite --test logs_invariants
 cargo run -q --release --offline -p bench --bin repro -- fuzz --seed 0
 
+echo "== obs suite =="
+cargo test -q --offline -p xkit obs
+cargo test -q --offline -p zeek-lite
+cargo test -q --offline -p dnsctx --test obs_pipeline
+cargo test -q --offline -p bench --test obs_cli
+# The obs experiment must emit a JSON snapshot we can parse back.
+obs_out=$(mktemp /tmp/verify_obs.XXXXXX.json)
+cargo run -q --release --offline -p bench --bin repro -- \
+    obs --houses 30 --days 0.02 --scale 0.3 --obs-out "$obs_out" >/dev/null
+cargo run -q --release --offline -p bench --bin repro -- obs-check "$obs_out"
+rm -f "$obs_out"
+
+echo "== clock deny-list (Instant outside xkit) =="
+# Wall-clock reads go through xkit::obs::clock so timing stays in one
+# seam; no other crate may call Instant::now() directly.
+if grep -rn "Instant::now" crates --include='*.rs' | grep -v "^crates/xkit/"; then
+    echo "FAIL: Instant::now outside crates/xkit (use xkit::obs::clock::now)" >&2
+    exit 1
+fi
+echo "clean: no Instant::now outside xkit"
+
 echo "== panic deny-list (parse paths) =="
 # Non-test code in the parser crates must stay unwrap/expect-free: any
 # malformed input is a typed Err, never a panic. awk strips `//` comment
