@@ -52,6 +52,7 @@ struct Opts {
     csv: bool,
     obs: bool,
     obs_out: String,
+    window_secs: f64,
     experiments: Vec<String>,
 }
 
@@ -75,6 +76,7 @@ fn parse_args() -> Opts {
         csv: false,
         obs: false,
         obs_out: "OBS_repro.json".into(),
+        window_secs: 60.0,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -93,12 +95,16 @@ fn parse_args() -> Opts {
             "--csv" => opts.csv = true,
             "--obs" => opts.obs = true,
             "--obs-out" => opts.obs_out = grab("--obs-out"),
+            "--window-secs" => {
+                opts.window_secs = grab("--window-secs").parse().expect("window-secs")
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--window-secs W]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs all\n\
-                     obs-check <snapshot.json>: validate a snapshot written by `repro obs`"
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream all\n\
+                     obs-check <snapshot.json>: validate a snapshot written by `repro obs`\n\
+                     stream: bounded-memory epoch pipeline (window set by --window-secs, 0 = unwindowed)"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +134,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        return;
+    }
+    // `stream` drives the bounded-memory epoch pipeline, capped like obs.
+    if opts.experiments.iter().any(|e| e == "stream") {
+        stream(&opts);
         return;
     }
     // `fuzz` drives the packet path at its own (capped) scale.
@@ -767,6 +778,120 @@ fn obs(opts: &Opts) {
     );
     std::fs::write(&opts.obs_out, format!("{json}\n")).expect("write obs snapshot");
     eprintln!("# obs: wrote {}", opts.obs_out);
+    println!("{json}");
+}
+
+/// `stream` experiment: run the bounded-memory epoch pipeline over a
+/// simulated capture and publish the merged analysis + `stream.*`
+/// snapshot as one JSON document on stdout (same discipline as `obs`).
+///
+/// The released DNS rows also feed a windowed `cache_sim` replay, so the
+/// whole-house cache numbers come out of the same single pass. For a
+/// finite window the peak-live gauges must come in strictly below the
+/// full-trace row totals — that is the point of the exercise, and the
+/// run asserts it.
+fn stream(opts: &Opts) {
+    use dnsctx::dns_context::stream::StreamEngine;
+    use dnsctx::pcapio;
+    use dnsctx::zeek_lite::{MonitorConfig, Timestamp};
+    use xkit::obs::{Metrics, SpanLog};
+
+    // The pcap bytes live in memory, so cap the workload like `obs` does.
+    let houses = opts.houses.min(50);
+    let days = opts.days.min(1.0);
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity: opts.scale },
+        ..WorkloadConfig::default()
+    };
+    let window = Duration::from_secs_f64(opts.window_secs.max(0.0));
+    eprintln!(
+        "# stream: {houses} houses x {days} days at activity {} (seed {}, threads {}, window {}s) ...",
+        opts.scale, opts.seed, opts.threads, opts.window_secs
+    );
+    let mut spans = SpanLog::new();
+    let mut metrics = Metrics::new();
+
+    // stage.capture: simulate the trace and render it to pcap bytes.
+    let s = spans.start("stage.capture");
+    let sim = Simulation::new(cfg, opts.seed)
+        .expect("valid config")
+        .with_threads(opts.threads);
+    let mut pcap = Vec::new();
+    let (_truth, frames, sim_metrics) =
+        sim.run_pcap_observed(&mut pcap, 65_535).expect("in-memory pcap");
+    metrics.merge(&sim_metrics);
+    spans.note(s, "frames", frames as f64);
+    spans.note(s, "pcap_bytes", pcap.len() as f64);
+    spans.finish(s);
+
+    // stage.stream: one pass over the capture, epoch by epoch. Released
+    // rows are classified incrementally and replayed through the
+    // whole-house cache model, then dropped — nothing accumulates.
+    let s = spans.start("stage.stream");
+    let reader = pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
+    let mut engine = StreamEngine::new(MonitorConfig::default(), opts.analysis_cfg());
+    let mut replay = cache_sim::CacheReplay::new(Duration::from_secs(60));
+    let window_nanos = window.nanos();
+    let mut epochs = pcapio::Epochs::new(reader.records(), window_nanos);
+    for epoch in epochs.by_ref() {
+        for rec in &epoch.records {
+            engine.handle_frame(Timestamp(rec.ts_nanos), &rec.data, rec.orig_len);
+        }
+        let out = engine.end_epoch(epoch.end_nanos(window_nanos).map(Timestamp));
+        for txn in &out.dns {
+            replay.offer(txn);
+        }
+    }
+    metrics.merge(&epochs.reader().metrics());
+    let result = engine.finish();
+    for txn in &result.tail.dns {
+        replay.offer(txn);
+    }
+    metrics.merge(&result.analysis_metrics);
+    metrics.merge(&result.stream_metrics);
+    metrics.add("cache.hits", replay.hits());
+    metrics.add("cache.misses", replay.misses());
+    metrics.add("cache.evicted", replay.evicted());
+    metrics.gauge_max("cache.peak_live", replay.peak_live() as f64);
+    spans.note(s, "epochs", metrics.counter("stream.epochs") as f64);
+    spans.note(s, "conn_rows", metrics.counter("zeek.conn_rows") as f64);
+    spans.note(s, "dns_rows", metrics.counter("zeek.dns_rows") as f64);
+    spans.finish(s);
+
+    let conn_rows = metrics.counter("zeek.conn_rows");
+    let dns_rows = metrics.counter("zeek.dns_rows");
+    let peak_flows = metrics.gauge("stream.peak_live_flows").unwrap_or(0.0);
+    let peak_answers = metrics.gauge("stream.peak_live_answers").unwrap_or(0.0);
+    eprintln!(
+        "# stream: {} epochs; peak live flows {} of {} rows, peak live answers {} of {} rows",
+        metrics.counter("stream.epochs"),
+        peak_flows,
+        count(conn_rows as usize),
+        peak_answers,
+        count(dns_rows as usize),
+    );
+    eprintln!(
+        "# stream: cache replay {} hits / {} misses (peak {} live)",
+        count(replay.hits() as usize),
+        count(replay.misses() as usize),
+        replay.peak_live()
+    );
+    if window_nanos > 0 {
+        assert!(
+            (peak_flows as u64) < conn_rows && (peak_answers as u64) < dns_rows,
+            "finite window must bound live state below the full-trace totals"
+        );
+    }
+
+    let json = format!(
+        "{{\"meta\":{{\"experiment\":\"stream\",\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{},\"window_secs\":{}}},\"metrics\":{},\"spans\":{}}}",
+        opts.scale,
+        opts.seed,
+        opts.threads,
+        opts.window_secs,
+        metrics.to_json(),
+        spans.to_json()
+    );
     println!("{json}");
 }
 

@@ -23,7 +23,7 @@
 use dns_context::{Analysis, ConnClass};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use zeek_lite::{Duration, Logs, Timestamp};
+use zeek_lite::{DnsTransaction, Duration, Logs, Timestamp};
 
 /// Result of the whole-house cache simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,19 +52,11 @@ pub struct WholeHouseReport {
 /// blocked on it becomes a local-cache connection.
 pub fn whole_house(logs: &Logs, analysis: &Analysis<'_>) -> WholeHouseReport {
     // Replay the DNS log per house and decide, for each transaction,
-    // whether a house cache would have answered it.
-    let mut cache: HashMap<(Ipv4Addr, &str), Timestamp> = HashMap::new();
-    let mut absorbed: Vec<bool> = Vec::with_capacity(logs.dns.len());
-    for txn in &logs.dns {
-        let key = (txn.client, txn.query.as_str());
-        let hit = cache.get(&key).map(|expiry| *expiry > txn.ts).unwrap_or(false);
-        absorbed.push(hit);
-        if !hit {
-            if let Some(expires) = txn.expires_at() {
-                cache.insert(key, expires);
-            }
-        }
-    }
+    // whether a house cache would have answered it. The replay is the
+    // streaming [`CacheReplay`] engine, so eviction semantics (and the
+    // expiry boundary) are pinned in exactly one place.
+    let mut replay = CacheReplay::new(Duration::from_secs(60));
+    let absorbed: Vec<bool> = logs.dns.iter().map(|txn| replay.offer(txn)).collect();
 
     let mut sc = 0usize;
     let mut r = 0usize;
@@ -97,6 +89,127 @@ pub fn whole_house(logs: &Logs, analysis: &Analysis<'_>) -> WholeHouseReport {
         moved_share_of_all_pct: pct(moved, total),
         sc_benefit_pct: pct(moved_sc, sc),
         r_benefit_pct: pct(moved_r, r),
+    }
+}
+
+/// A streaming whole-house cache replay with bounded live state.
+///
+/// Feed DNS transactions in timestamp order (the order `Logs::sort`
+/// produces — epoch-released streams satisfy it too) via [`offer`],
+/// which answers whether a per-house shared cache would have absorbed
+/// the lookup. Two properties distinguish this from a naive map replay:
+///
+/// * **Boundary**: an entry answering at its own expiry instant is
+///   already dead (`expiry > ts`, strict) — the same liveness rule the
+///   pairing index uses, so the two simulations cannot drift apart.
+/// * **Eviction**: expired entries are removed the moment they fail a
+///   liveness check, and a periodic sweep clears entries nothing asks
+///   for again, so live state is bounded by the working set rather than
+///   growing with the trace. Because timestamps only move forward, an
+///   expired entry can never hit again; eviction is decision-neutral.
+///
+/// [`offer`]: CacheReplay::offer
+#[derive(Debug)]
+pub struct CacheReplay {
+    /// Per house: query name → expiry of the cached record.
+    cache: HashMap<Ipv4Addr, HashMap<String, Timestamp>>,
+    sweep_interval: Duration,
+    last_sweep: Timestamp,
+    live: u64,
+    peak_live: u64,
+    evicted: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheReplay {
+    /// New replay; `sweep_interval` bounds how long an expired entry may
+    /// linger when no lookup touches it again.
+    pub fn new(sweep_interval: Duration) -> CacheReplay {
+        CacheReplay {
+            cache: HashMap::new(),
+            sweep_interval,
+            last_sweep: Timestamp::ZERO,
+            live: 0,
+            peak_live: 0,
+            evicted: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Replay one transaction; true when the house cache absorbs it.
+    pub fn offer(&mut self, txn: &DnsTransaction) -> bool {
+        self.maybe_sweep(txn.ts);
+        let house = self.cache.entry(txn.client).or_default();
+        let hit = match house.get(txn.query.as_str()) {
+            Some(expiry) if *expiry > txn.ts => true,
+            Some(_) => {
+                // Expired at (or before) this instant: evict.
+                house.remove(txn.query.as_str());
+                self.live -= 1;
+                self.evicted += 1;
+                false
+            }
+            None => false,
+        };
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if let Some(expires) = txn.expires_at() {
+                if house.insert(txn.query.clone(), expires).is_none() {
+                    self.live += 1;
+                }
+            }
+        }
+        self.peak_live = self.peak_live.max(self.live);
+        hit
+    }
+
+    fn maybe_sweep(&mut self, now: Timestamp) {
+        if now.since(self.last_sweep) < self.sweep_interval {
+            return;
+        }
+        self.last_sweep = now;
+        let mut dropped = 0u64;
+        for house in self.cache.values_mut() {
+            house.retain(|_, expiry| {
+                let alive = *expiry > now;
+                if !alive {
+                    dropped += 1;
+                }
+                alive
+            });
+        }
+        self.cache.retain(|_, house| !house.is_empty());
+        self.live -= dropped;
+        self.evicted += dropped;
+    }
+
+    /// Lookups the cache absorbed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that went to the resolver.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries removed by expiry (lazy check or sweep).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Currently-live entries.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark of live entries over the replay so far.
+    pub fn peak_live(&self) -> u64 {
+        self.peak_live
     }
 }
 
@@ -594,6 +707,41 @@ mod tests {
         let tight = serve_stale(&logs, &analysis, Duration::from_secs(10));
         let loose = serve_stale(&logs, &analysis, Duration::from_secs(86_400));
         assert!(tight.hit_pct < loose.hit_pct);
+    }
+
+    #[test]
+    fn cache_expiry_boundary_is_strict() {
+        // txn(0, ttl=10 s, rtt=4 ms) caches until exactly 10_004 ms.
+        let first = txn(0, "a.example.com", SERVER, 10, 4);
+        let expiry_ms = 10_004;
+
+        // One nanosecond (here: one millisecond) before expiry: hit.
+        let mut replay = CacheReplay::new(Duration::from_secs(60));
+        assert!(!replay.offer(&first));
+        assert!(replay.offer(&txn(expiry_ms - 1, "a.example.com", SERVER, 10, 4)));
+
+        // At exactly the expiry instant: dead, by the same strict `>`
+        // rule the pairing index applies — and the corpse is evicted.
+        let mut replay = CacheReplay::new(Duration::from_secs(60));
+        assert!(!replay.offer(&first));
+        assert!(!replay.offer(&txn(expiry_ms, "a.example.com", SERVER, 10, 4)));
+        assert_eq!(replay.evicted(), 1);
+        // The miss re-primed the cache.
+        assert_eq!(replay.live(), 1);
+    }
+
+    #[test]
+    fn cache_replay_state_stays_bounded() {
+        // Short-TTL names looked up once each, minutes apart: the sweep
+        // clears them, so live state never accumulates.
+        let mut replay = CacheReplay::new(Duration::from_secs(60));
+        for i in 0..50u64 {
+            let name = format!("n{i}.example.com");
+            assert!(!replay.offer(&txn(i * 120_000, &name, SERVER, 5, 4)));
+        }
+        assert!(replay.peak_live() <= 2, "peak {}", replay.peak_live());
+        assert_eq!(replay.misses(), 50);
+        assert_eq!(replay.evicted() + replay.live(), 50);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod perf;
 pub mod report;
 pub mod resolver;
 pub mod stats;
+pub mod stream;
 pub mod timeseries;
 
 mod analysis;
@@ -46,3 +47,4 @@ pub use analysis::{Analysis, AnalysisConfig, Coverage};
 pub use classify::{ClassCounts, ConnClass};
 pub use pairing::{PairedConn, Pairing, PairingPolicy};
 pub use stats::Ecdf;
+pub use stream::{EpochOutput, StreamEngine, StreamResult};

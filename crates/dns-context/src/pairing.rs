@@ -88,7 +88,10 @@ impl Pairing {
             }
         }
         for entries in index.values_mut() {
-            entries.sort_by_key(|e| e.completed);
+            // Explicit total order: completion time, then dns-log position.
+            // (Identical to the previous stable sort, but spelled out so
+            // the streaming engine can reproduce it entry by entry.)
+            entries.sort_by_key(|e| (e.completed, e.dns_idx));
         }
 
         let mut rng = StdRng::seed_from_u64(0x5ca1ab1e);

@@ -5,16 +5,18 @@ use std::fmt;
 /// An empirical cumulative distribution over `f64` samples.
 ///
 /// Construction sorts once; queries are O(log n). NaN samples are
-/// rejected at construction (measurement code must not produce them).
+/// filtered out at construction — NaN has no place in an order statistic
+/// (it would poison the sort and make `sorted` non-monotone), so a NaN
+/// simply does not become a sample.
 #[derive(Debug, Clone)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
 
 impl Ecdf {
-    /// Build from samples. Panics on NaN (a bug upstream, not data).
+    /// Build from samples, silently dropping any NaN values.
     pub fn new(mut samples: Vec<f64>) -> Ecdf {
-        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample in ECDF");
+        samples.retain(|x| !x.is_nan());
         samples.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted: samples }
     }
@@ -30,12 +32,13 @@ impl Ecdf {
     }
 
     /// The q-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
-    /// Returns `None` on an empty distribution.
+    /// Returns `None` on an empty distribution. Out-of-range and NaN
+    /// `q` clamp to the nearest valid probability.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.sorted.is_empty() {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
         Some(self.sorted[idx.min(self.sorted.len() - 1)])
     }
@@ -201,9 +204,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_rejected() {
-        Ecdf::new(vec![1.0, f64::NAN]);
+    fn nan_filtered_at_construction() {
+        let e = Ecdf::new(vec![f64::NAN, 1.0, f64::NAN, 3.0]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.samples(), &[1.0, 3.0]);
+        assert_eq!(e.median(), Some(1.0));
+        // All-NaN input degenerates to the empty distribution.
+        let empty = Ecdf::new(vec![f64::NAN]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_edges_on_tiny_distributions() {
+        // Nearest-rank pins for q ∈ {0, 0.5, 1} on 1-, 2- and 3-element
+        // sets: idx = ceil(q·n) − 1, clamped into range.
+        let one = Ecdf::new(vec![7.0]);
+        assert_eq!(one.quantile(0.0), Some(7.0));
+        assert_eq!(one.quantile(0.5), Some(7.0));
+        assert_eq!(one.quantile(1.0), Some(7.0));
+
+        let two = Ecdf::new(vec![1.0, 2.0]);
+        assert_eq!(two.quantile(0.0), Some(1.0));
+        assert_eq!(two.quantile(0.5), Some(1.0));
+        assert_eq!(two.quantile(1.0), Some(2.0));
+
+        let three = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(three.quantile(0.0), Some(1.0));
+        assert_eq!(three.quantile(0.5), Some(2.0));
+        assert_eq!(three.quantile(1.0), Some(3.0));
+
+        // Out-of-range q clamps rather than panicking or indexing wild.
+        assert_eq!(three.quantile(-1.0), Some(1.0));
+        assert_eq!(three.quantile(2.0), Some(3.0));
+        // A NaN probability clamps to 0 (f64::clamp would propagate it).
+        assert_eq!(three.quantile(f64::NAN), Some(1.0));
     }
 
     #[test]

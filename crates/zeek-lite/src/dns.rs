@@ -98,6 +98,25 @@ impl DnsTransaction {
     pub fn has_addrs(&self) -> bool {
         self.answers.iter().any(|a| a.as_addr().is_some())
     }
+
+    /// The canonical dns.log ordering: query time, then the transaction's
+    /// identifying fields as tiebreakers. This is a total order over any
+    /// transactions the monitor can actually emit (two distinct rows with
+    /// every compared field equal would have collided in the pending-query
+    /// table), so a log sorted with it comes out byte-identical no matter
+    /// how the rows were accumulated — the property the streaming engine's
+    /// per-epoch releases rely on.
+    pub fn log_order(a: &DnsTransaction, b: &DnsTransaction) -> std::cmp::Ordering {
+        (a.ts, a.client, a.resolver, a.trans_id, &a.query, a.qtype.to_u16(), a.rtt).cmp(&(
+            b.ts,
+            b.client,
+            b.resolver,
+            b.trans_id,
+            &b.query,
+            b.qtype.to_u16(),
+            b.rtt,
+        ))
+    }
 }
 
 #[cfg(test)]

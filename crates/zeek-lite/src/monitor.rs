@@ -169,11 +169,14 @@ impl Logs {
         m
     }
 
-    /// Sort both logs by timestamp (stable, so equal stamps keep insertion
-    /// order).
+    /// Sort both logs into their canonical order: connections by
+    /// `(ts, uid)`, DNS transactions by [`DnsTransaction::log_order`].
+    /// Both keys are total orders, so the result is independent of the
+    /// order rows were accumulated in — a requirement for the streaming
+    /// engine, whose per-epoch releases must byte-match the batch logs.
     pub fn sort(&mut self) {
-        self.conns.sort_by_key(|c| c.ts);
-        self.dns.sort_by_key(|d| d.ts);
+        self.conns.sort_by_key(|c| (c.ts, c.uid));
+        self.dns.sort_by(DnsTransaction::log_order);
     }
 
     /// Restrict both logs to records starting in `[from, to)`. Counters in
@@ -427,9 +430,46 @@ impl Monitor {
         self.tracker.drain_completed()
     }
 
+    /// Drain DNS transactions recorded so far (matched responses and
+    /// timed-out queries), for streaming consumers. Rows drain in arrival
+    /// order; callers impose the canonical log order themselves.
+    pub fn drain_dns(&mut self) -> Vec<DnsTransaction> {
+        std::mem::take(&mut self.dns_log)
+    }
+
     /// Number of flows currently being tracked.
     pub fn active_flows(&self) -> usize {
         self.tracker.active_flows()
+    }
+
+    /// Number of DNS queries awaiting a response.
+    pub fn pending_dns(&self) -> usize {
+        self.pending_dns.len()
+    }
+
+    /// Start time of the oldest tracked flow. Every connection record the
+    /// monitor emits in the future starts at or after this instant, which
+    /// makes it the streaming engine's conn-release watermark.
+    pub fn oldest_active_flow_start(&self) -> Option<Timestamp> {
+        self.tracker.oldest_active_flow_start()
+    }
+
+    /// Query time of the oldest pending DNS query. Every DNS row emitted
+    /// in the future carries a query timestamp at or after this instant
+    /// (responses and timeouts inherit the query's stamp), making it the
+    /// streaming engine's dns-release watermark.
+    pub fn oldest_pending_dns_ts(&self) -> Option<Timestamp> {
+        self.pending_dns.values().map(|p| p.ts).min()
+    }
+
+    /// Counters accumulated so far (the capture need not be finished).
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Degradation buckets accumulated so far.
+    pub fn degradation(&self) -> &DegradationStats {
+        &self.degradation
     }
 
     /// Flush all state and return the logs, sorted by time.

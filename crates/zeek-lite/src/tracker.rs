@@ -159,6 +159,10 @@ struct DirStats {
     first_seq: Option<u64>,
     /// Highest extended sequence number consumed (seq + payload + SYN + FIN).
     max_end_seq: Option<u64>,
+    /// End of the highest FIN segment seen (seq + payload + SYN + FIN), so
+    /// the FIN's sequence number is only discounted when it actually falls
+    /// inside the counted range.
+    fin_end: Option<u64>,
     syn: bool,
     fin: bool,
     rst: bool,
@@ -196,8 +200,15 @@ impl DirStats {
             None => return 0,
         };
         let mut bytes = end.saturating_sub(start);
-        if self.fin {
-            bytes = bytes.saturating_sub(1); // FIN consumes one number
+        // The FIN consumes one sequence number (RFC 793 §3.3), but only
+        // discount it when the FIN's number actually lies inside the range
+        // we counted — an out-of-order FIN below data we already measured
+        // must not shave a payload byte, and a FIN-only direction (start ==
+        // end after the SYN adjustment) has nothing to shave.
+        if let Some(fe) = self.fin_end {
+            if fe > start && fe <= end {
+                bytes = bytes.saturating_sub(1);
+            }
         }
         bytes
     }
@@ -367,8 +378,20 @@ impl FlowTracker {
                 let flags = m.tcp_flags.unwrap_or_default();
                 let seq32 = m.seq.unwrap_or(0);
                 let seq = dir.extend_seq(seq32);
-                if flags.syn && dir.isn.is_none() {
-                    dir.isn = Some(seq);
+                if flags.syn {
+                    match dir.isn {
+                        None => dir.isn = Some(seq),
+                        // A SYN retransmitted with a *different* ISN before
+                        // any data restarts the sequence space; re-anchor so
+                        // the stale [old_isn, max_end) range cannot report
+                        // phantom bytes.
+                        Some(old) if old != seq && !dir.data_logged => {
+                            dir.isn = Some(seq);
+                            dir.first_seq = Some(seq);
+                            dir.max_end_seq = None;
+                        }
+                        Some(_) => {}
+                    }
                 }
                 if dir.first_seq.is_none() {
                     dir.first_seq = Some(seq);
@@ -376,6 +399,9 @@ impl FlowTracker {
                 let end = seq + m.payload_len + flags.syn as u64 + flags.fin as u64;
                 if dir.max_end_seq.map(|e| end > e).unwrap_or(true) {
                     dir.max_end_seq = Some(end);
+                }
+                if flags.fin {
+                    dir.fin_end = Some(dir.fin_end.map_or(end, |e| e.max(end)));
                 }
                 // History letters, first occurrence each.
                 if flags.syn && !flags.ack && !flow.history.contains(hist_case('s')) {
@@ -455,6 +481,13 @@ impl FlowTracker {
     /// Number of currently-tracked flows.
     pub fn active_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Start time of the oldest flow still in the table, if any. The
+    /// streaming engine uses this as a release watermark: every future
+    /// connection record must start at or after this instant.
+    pub fn oldest_active_flow_start(&self) -> Option<Timestamp> {
+        self.flows.values().map(|f| f.start).min()
     }
 }
 
@@ -713,6 +746,67 @@ mod tests {
         t.handle(b);
         let recs = t.finish();
         assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn fin_only_direction_reports_zero_bytes() {
+        // A lone FIN carries no payload: its sequence number is consumed
+        // but no data was transferred, so bytes must be exactly zero (and
+        // never wrap through saturating arithmetic).
+        let mut t = FlowTracker::new(Duration::from_secs(60), Duration::from_secs(300));
+        t.handle(tcp_pkt(0, true, TcpFlags::SYN, 100, 0));
+        t.handle(tcp_pkt(10, false, TcpFlags::SYN_ACK, 900, 0));
+        t.handle(tcp_pkt(20, false, TcpFlags::FIN_ACK, 901, 0));
+        let recs = t.finish();
+        assert_eq!(recs[0].resp_bytes, 0);
+        assert_eq!(recs[0].orig_bytes, 0);
+    }
+
+    #[test]
+    fn data_plus_fin_counts_payload_exactly() {
+        let mut t = FlowTracker::new(Duration::from_secs(60), Duration::from_secs(300));
+        t.handle(tcp_pkt(0, true, TcpFlags::SYN, 100, 0));
+        t.handle(tcp_pkt(10, false, TcpFlags::SYN_ACK, 900, 0));
+        // 50 bytes of data, then a FIN carrying 10 more bytes.
+        t.handle(tcp_pkt(20, true, TcpFlags::PSH_ACK, 101, 50));
+        t.handle(tcp_pkt(30, true, TcpFlags::FIN_ACK, 151, 10));
+        let recs = t.finish();
+        assert_eq!(recs[0].orig_bytes, 60);
+    }
+
+    #[test]
+    fn out_of_order_fin_below_data_does_not_undercount() {
+        // Data advanced max_end_seq past the point where an old
+        // (retransmitted, below-window) FIN lands: the FIN's sequence
+        // number is outside the counted range, so no byte may be shaved.
+        let mut t = FlowTracker::new(Duration::from_secs(60), Duration::from_secs(300));
+        t.handle(tcp_pkt(0, true, TcpFlags::PSH_ACK, 5000, 100));
+        t.handle(tcp_pkt(10, true, TcpFlags::FIN_ACK, 4000, 0));
+        let recs = t.finish();
+        assert_eq!(recs[0].orig_bytes, 100);
+    }
+
+    #[test]
+    fn syn_retransmit_with_new_isn_reports_no_phantom_bytes() {
+        // A client giving up and restarting with a fresh ISN (no data ever
+        // sent) must not report the ISN delta as payload.
+        let mut t = FlowTracker::new(Duration::from_secs(60), Duration::from_secs(300));
+        t.handle(tcp_pkt(0, true, TcpFlags::SYN, 1_000, 0));
+        t.handle(tcp_pkt(3_000, true, TcpFlags::SYN, 50_000, 0));
+        let recs = t.finish();
+        assert_eq!(recs[0].state, ConnState::S0);
+        assert_eq!(recs[0].orig_bytes, 0);
+    }
+
+    #[test]
+    fn oldest_active_flow_start_tracks_minimum() {
+        let mut t = FlowTracker::new(Duration::from_secs(60), Duration::from_secs(300));
+        assert_eq!(t.oldest_active_flow_start(), None);
+        t.handle(udp_pkt(5_000, true, 10));
+        let mut other = udp_pkt(9_000, true, 10);
+        other.src = Ipv4Addr::new(10, 1, 1, 9);
+        t.handle(other);
+        assert_eq!(t.oldest_active_flow_start(), Some(Timestamp::from_millis(5_000)));
     }
 
     #[test]

@@ -141,13 +141,31 @@ fn merge_sums_degradation_stats() {
 }
 
 #[test]
-fn sort_is_stable_for_equal_timestamps() {
+fn sort_order_is_total_and_input_order_independent() {
+    // Equal timestamps break ties on uid, so the sorted log is a pure
+    // function of the record *set* — the property that lets streamed
+    // per-epoch releases concatenate into the exact batch log.
     let mut logs = Logs {
         conns: vec![conn(1_000, 7), conn(1_000, 3), conn(500, 9)],
         ..Default::default()
     };
     logs.sort();
     let uids: Vec<u64> = logs.conns.iter().map(|c| c.uid).collect();
-    // Equal stamps keep insertion order: 7 before 3.
-    assert_eq!(uids, vec![9, 7, 3]);
+    assert_eq!(uids, vec![9, 3, 7]);
+
+    let mut reversed = Logs {
+        conns: vec![conn(500, 9), conn(1_000, 3), conn(1_000, 7)],
+        ..Default::default()
+    };
+    reversed.sort();
+    assert_eq!(reversed.conns, logs.conns);
+
+    // Same for dns rows with identical stamps: the log_order tiebreak
+    // (here: trans_id/query) makes the result accumulation-independent.
+    let mut d1 = Logs { dns: vec![dns(1_000, 2), dns(1_000, 1)], ..Default::default() };
+    let mut d2 = Logs { dns: vec![dns(1_000, 1), dns(1_000, 2)], ..Default::default() };
+    d1.sort();
+    d2.sort();
+    assert_eq!(d1.dns, d2.dns);
+    assert_eq!(d1.dns[0].trans_id, 1);
 }

@@ -39,6 +39,30 @@ cargo run -q --release --offline -p bench --bin repro -- \
 cargo run -q --release --offline -p bench --bin repro -- obs-check "$obs_out"
 rm -f "$obs_out"
 
+echo "== stream suite =="
+# Streamed output must be byte-identical to batch at every tested
+# window/thread combination, with live state bounded for finite windows.
+cargo test -q --release --offline -p dnsctx --test stream_agreement
+cargo test -q --offline -p pcapio
+cargo run -q --release --offline -p bench --bin repro -- \
+    stream --houses 20 --days 0.1 --window-secs 60 >/dev/null
+# The streaming path must not fall back to a full-trace pass: the batch
+# entry points stay out of crates/dns-context/src/stream.rs (test code,
+# where the batch pipeline is the oracle, is exempt).
+bad=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }
+    /Pairing::build|Analysis::run|Monitor::process_pcap|\.finish\(\)\.metrics\(\)/ {
+        print FILENAME ":" FNR ": " $0
+    }
+' crates/dns-context/src/stream.rs || true)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: batch accumulator entry point on the streaming path" >&2
+    exit 1
+fi
+echo "clean: no batch fallbacks in the streaming engine"
+
 echo "== clock deny-list (Instant outside xkit) =="
 # Wall-clock reads go through xkit::obs::clock so timing stays in one
 # seam; no other crate may call Instant::now() directly.
