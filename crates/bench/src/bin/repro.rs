@@ -42,6 +42,14 @@ use dnsctx::dns_context::report::{cdf_series, cdf_strip, count, f1, f2, Table};
 use dnsctx::dns_context::{Analysis, AnalysisConfig, ConnClass, Ecdf, PairingPolicy};
 use dnsctx::zeek_lite::{Duration, Logs};
 
+/// Every allocation in this binary goes through the counting shim, so
+/// `bench` can report per-stage allocation counts and peak live bytes
+/// (see the `*_allocs` / `*_alloc_bytes` / `*_peak_bytes` notes in
+/// `BENCH_repro.json`). The counters are relaxed atomics — overhead is
+/// a few nanoseconds per allocation event.
+#[global_allocator]
+static ALLOC: xkit::bench::alloc::CountingAlloc = xkit::bench::alloc::CountingAlloc;
+
 struct Opts {
     houses: usize,
     days: f64,
@@ -686,16 +694,16 @@ fn obs(opts: &Opts) {
     spans.note(s, "pcap_bytes", pcap.len() as f64);
     spans.finish(s);
 
-    // stage.zeek: read the capture record-by-record through the monitor.
+    // stage.zeek: read the capture record-by-record through the monitor
+    // (borrowed records over the reader's reusable buffer — no per-frame
+    // allocation).
     let s = spans.start("stage.zeek");
-    let reader = dnsctx::pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
-    let mut records = reader.records();
+    let mut reader = dnsctx::pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
     let mut monitor = Monitor::new(MonitorConfig::default());
-    for record in records.by_ref() {
-        let record = record.expect("pcap record");
-        monitor.handle_frame(Timestamp(record.ts_nanos), &record.data, record.orig_len);
+    while let Some(record) = reader.next_record().expect("pcap record") {
+        monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
     }
-    metrics.merge(&records.reader().metrics());
+    metrics.merge(&reader.metrics());
     let logs = monitor.finish();
     metrics.merge(&logs.metrics());
     spans.note(s, "conn_rows", logs.conns.len() as f64);
@@ -711,9 +719,12 @@ fn obs(opts: &Opts) {
     metrics.merge(&pair_metrics);
     spans.finish(s);
 
-    // stage.thresholds: per-resolver SC/R duration thresholds.
+    // stage.thresholds: per-resolver SC/R duration thresholds (scans the
+    // columnar projections built once here).
     let s = spans.start("stage.thresholds");
-    let thresholds = resolver_thresholds(&logs.dns, acfg.threshold_rule);
+    let conn_cols = logs.conn_columns();
+    let dns_cols = logs.dns_columns();
+    let thresholds = resolver_thresholds(&dns_cols, acfg.threshold_rule);
     metrics.add("threshold.resolvers", thresholds.len() as u64);
     for (addr, thr) in &thresholds {
         metrics.gauge_max(&format!("threshold.{addr}.ms"), thr.as_millis_f64());
@@ -726,7 +737,7 @@ fn obs(opts: &Opts) {
     let floor = Duration::from_secs_f64(acfg.threshold_rule.floor_ms / 1e3);
     let classes = classify_parallel(
         opts.threads,
-        &logs.dns,
+        &dns_cols,
         &pairing,
         acfg.block_threshold,
         &thresholds,
@@ -743,7 +754,7 @@ fn obs(opts: &Opts) {
 
     // stage.perf: blocked-connection delay figures.
     let s = spans.start("stage.perf");
-    let perf = PerfAnalysis::compute(&logs.conns, &logs.dns, &pairing, &classes);
+    let perf = PerfAnalysis::compute(&conn_cols, &dns_cols, &pairing, &classes);
     metrics.add("perf.blocked_conns", perf.blocked.len() as u64);
     for b in &perf.blocked {
         metrics.observe_with("perf.blocked_dns_ms", xkit::obs::HistSpec::time_ms(), b.dns_ms);
@@ -828,21 +839,50 @@ fn stream(opts: &Opts) {
     // rows are classified incrementally and replayed through the
     // whole-house cache model, then dropped — nothing accumulates.
     let s = spans.start("stage.stream");
-    let reader = pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
+    let mut reader = pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
     let mut engine = StreamEngine::new(MonitorConfig::default(), opts.analysis_cfg());
     let mut replay = cache_sim::CacheReplay::new(Duration::from_secs(60));
     let window_nanos = window.nanos();
-    let mut epochs = pcapio::Epochs::new(reader.records(), window_nanos);
-    for epoch in epochs.by_ref() {
-        for rec in &epoch.records {
-            engine.handle_frame(Timestamp(rec.ts_nanos), &rec.data, rec.orig_len);
+    // Borrowed records over the reader's reusable buffer, with inline
+    // epoch windowing — same boundary semantics as `pcapio::Epochs`
+    // (mirrors `dns_context::stream::process_pcap`).
+    let mut current_epoch = 0u64;
+    let mut started = false;
+    loop {
+        let rec = match reader.next_record() {
+            Ok(Some(rec)) => rec,
+            Ok(None) | Err(_) => break,
+        };
+        let e = if window_nanos == 0 {
+            0
+        } else {
+            (rec.ts_nanos / window_nanos).max(current_epoch)
+        };
+        if !started {
+            started = true;
+            current_epoch = e;
+        } else if e != current_epoch {
+            let boundary = Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)));
+            let out = engine.end_epoch(boundary);
+            for txn in &out.dns {
+                replay.offer(txn);
+            }
+            current_epoch = e;
         }
-        let out = engine.end_epoch(epoch.end_nanos(window_nanos).map(Timestamp));
+        engine.handle_frame(Timestamp(rec.ts_nanos), rec.data, rec.orig_len);
+    }
+    if started {
+        let boundary = if window_nanos == 0 {
+            None
+        } else {
+            Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)))
+        };
+        let out = engine.end_epoch(boundary);
         for txn in &out.dns {
             replay.offer(txn);
         }
     }
-    metrics.merge(&epochs.reader().metrics());
+    metrics.merge(&reader.metrics());
     let result = engine.finish();
     for txn in &result.tail.dns {
         replay.offer(txn);
@@ -1040,15 +1080,21 @@ struct Headline {
 
 /// Run one full simulation + analysis and distill the headline numbers.
 /// Each worker runs its simulation single-threaded: in a seed sweep the
-/// parallelism budget is spent across seeds, not within one.
-fn headline_for_seed(cfg: &WorkloadConfig, seed: u64) -> Headline {
+/// parallelism budget is spent across seeds, not within one. The
+/// caller's scratch (one per sweep worker, built once) carries the
+/// pairing arena across seeds.
+fn headline_for_seed(
+    cfg: &WorkloadConfig,
+    scratch: &mut dnsctx::dns_context::AnalysisScratch,
+    seed: u64,
+) -> Headline {
     let out = Simulation::new(cfg.clone(), seed)
         .expect("valid config")
         .with_threads(1)
         .run();
     let mut acfg = AnalysisConfig::default();
     acfg.threads = 1;
-    let analysis = Analysis::run(&out.logs, acfg);
+    let analysis = Analysis::run_with(scratch, &out.logs, acfg);
     let c = analysis.class_counts();
     let shares = [
         c.share_pct(ConnClass::NoDns),
@@ -1078,8 +1124,14 @@ fn multi_seed(cfg: &WorkloadConfig, opts: &Opts) {
         xkit::par::resolve_threads(opts.threads).min(opts.seeds)
     );
     let seeds: Vec<u64> = (0..opts.seeds as u64).map(|k| opts.seed + k).collect();
-    // par_map preserves input order, so the rows come back seed-sorted.
-    let rows = xkit::par::par_map(opts.threads, seeds, |_, seed| headline_for_seed(cfg, seed));
+    // par_map_with preserves input order (the rows come back seed-sorted)
+    // and builds one analysis scratch per worker, reused across seeds.
+    let rows = xkit::par::par_map_with(
+        opts.threads,
+        seeds,
+        dnsctx::dns_context::AnalysisScratch::default,
+        |scratch, _, seed| headline_for_seed(cfg, scratch, seed),
+    );
 
     let mut t = Table::new(
         "headline statistics across seeds (paper: N 7.2, LC 42.9, P 7.8, SC 26.3, R 15.7; blocked 42.1; hit 62.6; signif 3.6)",
@@ -1132,13 +1184,30 @@ fn multi_seed(cfg: &WorkloadConfig, opts: &Opts) {
 /// directory as a baseline for future runs.
 fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>) {
     use dnsctx::dns_context::classify::classify_parallel;
-    use dnsctx::dns_context::Pairing;
+    use dnsctx::dns_context::{AnalysisScratch, Pairing, PairingScratch};
+    use xkit::bench::alloc;
 
     eprintln!("# bench: timing pipeline stages ...");
     let mut h = xkit::bench::Harness::coarse("repro");
     h.samples = 3;
     let acfg = opts.analysis_cfg();
 
+    // One instrumented run per stage first: allocation events, bytes
+    // requested, and peak live bytes, reported as notes next to the
+    // timings. The timed samples below then run uninstrumented closures
+    // of the same shape.
+    let mut stage_allocs: Vec<(&str, alloc::StageAllocs)> = Vec::new();
+
+    let (_, a) = alloc::measure(|| {
+        Simulation::new(cfg.clone(), opts.seed)
+            .expect("valid config")
+            .with_threads(opts.threads)
+            .run()
+            .logs
+            .conns
+            .len()
+    });
+    stage_allocs.push(("simulate", a));
     h.bench("simulate", || {
         Simulation::new(cfg.clone(), opts.seed)
             .expect("valid config")
@@ -1148,14 +1217,24 @@ fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>
             .conns
             .len()
     });
-    h.bench("pair", || {
-        Pairing::build(&logs.conns, &logs.dns, acfg.policy).pairs.len()
+
+    // Steady-state pairing: the arena scratch is built once and reused,
+    // as the analysis facade and the sweep workers do.
+    let mut pair_scratch = PairingScratch::default();
+    let (_, a) = alloc::measure(|| {
+        Pairing::build_with(&mut pair_scratch, &logs.conns, &logs.dns, acfg.policy).pairs.len()
     });
+    stage_allocs.push(("pair", a));
+    h.bench("pair", || {
+        Pairing::build_with(&mut pair_scratch, &logs.conns, &logs.dns, acfg.policy).pairs.len()
+    });
+
     let floor = Duration::from_secs_f64(acfg.threshold_rule.floor_ms / 1e3);
-    h.bench("classify", || {
+    let dns_cols = analysis.dns_columns();
+    let (_, a) = alloc::measure(|| {
         classify_parallel(
             opts.threads,
-            &logs.dns,
+            dns_cols,
             &analysis.pairing,
             acfg.block_threshold,
             &analysis.thresholds,
@@ -1163,23 +1242,47 @@ fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>
         )
         .len()
     });
+    stage_allocs.push(("classify", a));
+    h.bench("classify", || {
+        classify_parallel(
+            opts.threads,
+            dns_cols,
+            &analysis.pairing,
+            acfg.block_threshold,
+            &analysis.thresholds,
+            floor,
+        )
+        .len()
+    });
+
+    let (_, a) = alloc::measure(|| analysis.perf().blocked.len());
+    stage_allocs.push(("perf", a));
     h.bench("perf", || analysis.perf().blocked.len());
 
     // Seed-sweep scaling: the identical K-seed sweep on one worker vs
     // the requested thread count. The headline statistics must agree
-    // exactly — the sweep is deterministic per seed.
+    // exactly — the sweep is deterministic per seed. Each worker gets
+    // one analysis scratch, built once and reused across its seeds.
     let sweep_seeds: Vec<u64> = (0..opts.seeds.max(2) as u64).map(|k| opts.seed + k).collect();
     eprintln!(
         "# bench: {}-seed sweep, sequential vs parallel ...",
         sweep_seeds.len()
     );
     let t = xkit::obs::clock::now();
-    let seq = xkit::par::par_map(1, sweep_seeds.clone(), |_, seed| headline_for_seed(cfg, seed));
+    let seq = xkit::par::par_map_with(
+        1,
+        sweep_seeds.clone(),
+        AnalysisScratch::default,
+        |scratch, _, seed| headline_for_seed(cfg, scratch, seed),
+    );
     let seq_s = t.elapsed_secs();
     let t = xkit::obs::clock::now();
-    let par = xkit::par::par_map(opts.threads, sweep_seeds.clone(), |_, seed| {
-        headline_for_seed(cfg, seed)
-    });
+    let par = xkit::par::par_map_with(
+        opts.threads,
+        sweep_seeds.clone(),
+        AnalysisScratch::default,
+        |scratch, _, seed| headline_for_seed(cfg, scratch, seed),
+    );
     let par_s = t.elapsed_secs();
     assert_eq!(seq.len(), par.len());
     assert!(
@@ -1196,6 +1299,11 @@ fn bench(cfg: &WorkloadConfig, opts: &Opts, logs: &Logs, analysis: &Analysis<'_>
     h.note("sweep_seq_s", seq_s);
     h.note("sweep_par_s", par_s);
     h.note("sweep_speedup_x", seq_s / par_s.max(1e-9));
+    for (stage, a) in &stage_allocs {
+        h.note(&format!("{stage}_allocs"), a.allocs as f64);
+        h.note(&format!("{stage}_alloc_bytes"), a.bytes as f64);
+        h.note(&format!("{stage}_peak_bytes"), a.peak_live as f64);
+    }
     // Timing tables are diagnostics: stderr, never stdout.
     eprint!("{}", h.render_table());
     let path = std::path::Path::new("BENCH_repro.json");

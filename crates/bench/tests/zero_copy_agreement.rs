@@ -1,0 +1,192 @@
+//! Zero-copy agreement suite.
+//!
+//! The hot path now parses borrowed records over a reusable read buffer,
+//! pairs through a flat entry arena, and scans columnar log projections.
+//! None of that may be observable: these tests pin that capture bytes,
+//! rendered (sorted) logs, class counts, and the metrics snapshot are
+//! byte-identical for worker threads {1, 8} × epoch windows {30 s, ∞},
+//! and that the owned-record fallback (the fault-rewrite seam, the one
+//! sanctioned exit from the zero-copy path) agrees with the borrowed
+//! reader.
+
+use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::dns_context::{stream, Analysis, AnalysisConfig};
+use dnsctx::pcapio::{self, PcapRecord, RecordTransform};
+use dnsctx::zeek_lite::{logfmt, Duration, Logs, Monitor, MonitorConfig};
+use xkit::fault::{FaultConfig, FaultInjector, RawFrame};
+use xkit::rng::{SeedableRng, StdRng};
+
+const SEED: u64 = 1303;
+
+/// Small-but-busy workload: the packet path buffers every frame, so the
+/// suite stays at integration-test scale.
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        scale: ScaleKnobs { houses: 12, days: 0.25, activity: 0.5 },
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Render the capture produced with `threads` simulation workers.
+fn capture_bytes(threads: usize) -> Vec<u8> {
+    let sim = Simulation::new(workload(), SEED).expect("valid config").with_threads(threads);
+    let mut bytes = Vec::new();
+    let (_, frames) = sim.run_pcap(&mut bytes, 65_535).expect("in-memory pcap");
+    assert!(frames > 0, "workload must produce traffic");
+    bytes
+}
+
+/// Canonical byte form of both logs (Zeek-style TSV, sorted by the
+/// monitor's own ordering guarantees).
+fn render_logs(logs: &Logs) -> Vec<u8> {
+    let mut buf = Vec::new();
+    logfmt::write_conn_log(&mut buf, &logs.conns).expect("in-memory write");
+    logfmt::write_dns_log(&mut buf, &logs.dns).expect("in-memory write");
+    buf
+}
+
+fn analysis_cfg(threads: usize) -> AnalysisConfig {
+    AnalysisConfig { threads, ..AnalysisConfig::default() }
+}
+
+#[test]
+fn capture_bytes_are_thread_invariant() {
+    let t1 = capture_bytes(1);
+    let t8 = capture_bytes(8);
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t8, "pcap bytes must not depend on simulation threads");
+    // And the run is reproducible at a fixed seed.
+    assert_eq!(t1, capture_bytes(1), "same seed, same bytes");
+}
+
+#[test]
+fn batch_pipeline_agrees_across_threads() {
+    let bytes = capture_bytes(1);
+    let logs = Monitor::process_pcap(&bytes[..], MonitorConfig::default())
+        .expect("clean capture parses");
+    let rendered = render_logs(&logs);
+    assert!(!rendered.is_empty());
+
+    let a1 = Analysis::run(&logs, analysis_cfg(1));
+    let a8 = Analysis::run(&logs, analysis_cfg(8));
+    assert_eq!(a1.class_counts(), a8.class_counts(), "class counts must be thread-invariant");
+    assert_eq!(
+        logs.metrics().render_table(),
+        Monitor::process_pcap(&bytes[..], MonitorConfig::default())
+            .expect("clean capture parses")
+            .metrics()
+            .render_table(),
+        "monitor metrics must be reproducible"
+    );
+}
+
+#[test]
+fn stream_agrees_for_all_windows_and_threads() {
+    let bytes = capture_bytes(1);
+    let batch_logs = Monitor::process_pcap(&bytes[..], MonitorConfig::default())
+        .expect("clean capture parses");
+    let batch_rendered = render_logs(&batch_logs);
+    let batch_counts = Analysis::run(&batch_logs, analysis_cfg(1)).class_counts();
+
+    let mut metric_snapshots = Vec::new();
+    for window in [Duration::from_secs(30), Duration::ZERO] {
+        for threads in [1usize, 8] {
+            let mut released = Logs::default();
+            let result = stream::process_pcap(
+                &bytes[..],
+                window,
+                MonitorConfig::default(),
+                analysis_cfg(threads),
+                |epoch| {
+                    released.conns.extend(epoch.conns);
+                    released.dns.extend(epoch.dns);
+                },
+            )
+            .expect("stream run");
+            released.conns.extend(result.tail.conns);
+            released.dns.extend(result.tail.dns);
+
+            assert_eq!(
+                render_logs(&released),
+                batch_rendered,
+                "stream rows (window {window:?}, threads {threads}) must equal batch logs"
+            );
+            assert_eq!(
+                result.class_counts, batch_counts,
+                "stream class counts (window {window:?}, threads {threads}) must equal batch"
+            );
+            metric_snapshots.push(result.analysis_metrics.render_table());
+        }
+    }
+    for s in &metric_snapshots[1..] {
+        assert_eq!(
+            s, &metric_snapshots[0],
+            "analysis metrics must be byte-identical across windows x threads"
+        );
+    }
+}
+
+/// Bridge the fault injector into the pcap rewrite seam — the path that
+/// deliberately leaves the zero-copy reader via `RecordRef::to_owned`.
+struct Corruptor(FaultInjector);
+
+impl Corruptor {
+    fn to_rec(f: RawFrame) -> PcapRecord {
+        PcapRecord { ts_nanos: f.ts_nanos, orig_len: f.orig_len, data: f.data }
+    }
+}
+
+impl RecordTransform for Corruptor {
+    fn apply(&mut self, r: PcapRecord) -> Vec<PcapRecord> {
+        let raw = RawFrame { ts_nanos: r.ts_nanos, orig_len: r.orig_len, data: r.data };
+        self.0.apply(raw).into_iter().map(Self::to_rec).collect()
+    }
+    fn flush(&mut self) -> Vec<PcapRecord> {
+        self.0.flush().into_iter().map(Self::to_rec).collect()
+    }
+}
+
+#[test]
+fn owned_fallback_rewrite_agrees_with_borrowed_reader() {
+    let clean = capture_bytes(1);
+
+    // Rate 0: the owned round-trip must reproduce the capture bit for
+    // bit, and its logs must match the borrowed reader's.
+    let mut copied = Vec::new();
+    let mut identity =
+        Corruptor(FaultInjector::new(FaultConfig::clean(), StdRng::seed_from_u64(SEED)));
+    pcapio::rewrite(&clean[..], &mut copied, &mut identity).expect("in-memory rewrite");
+    assert_eq!(copied, clean, "rate-0 rewrite must be byte-identical");
+    let borrowed = Monitor::process_pcap(&clean[..], MonitorConfig::default()).expect("parses");
+    let owned = Monitor::process_pcap(&copied[..], MonitorConfig::default()).expect("parses");
+    assert_eq!(render_logs(&owned), render_logs(&borrowed));
+
+    // A lossy rewrite is still fully deterministic: same seed, same
+    // corrupted bytes, and the downstream analysis is thread-invariant.
+    let corrupt_once = || {
+        let mut out = Vec::new();
+        let mut c = Corruptor(FaultInjector::new(
+            FaultConfig::uniform(0.05),
+            StdRng::seed_from_u64(SEED),
+        ));
+        pcapio::rewrite(&clean[..], &mut out, &mut c).expect("in-memory rewrite");
+        out
+    };
+    let corrupted = corrupt_once();
+    assert_eq!(corrupted, corrupt_once(), "fault rewrite must be seed-deterministic");
+    assert_ne!(corrupted, clean, "a 5% fault rate must actually corrupt something");
+
+    let logs = Monitor::process_pcap(&corrupted[..], MonitorConfig::default())
+        .expect("corrupted capture still reads record-by-record");
+    let c1 = Analysis::run(&logs, analysis_cfg(1)).class_counts();
+    let c8 = Analysis::run(&logs, analysis_cfg(8)).class_counts();
+    assert_eq!(c1, c8, "post-fault class counts must be thread-invariant");
+    assert_eq!(
+        logs.metrics().render_table(),
+        Monitor::process_pcap(&corrupted[..], MonitorConfig::default())
+            .expect("parses")
+            .metrics()
+            .render_table(),
+        "post-fault metrics must be reproducible"
+    );
+}

@@ -568,7 +568,7 @@ mod tests {
             orig_pkts: 4,
             resp_pkts: 8,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: Some("ssl"),
         }
     }

@@ -62,7 +62,7 @@ fn gen_logs(r: &mut StdRng) -> Logs {
             orig_pkts: 4,
             resp_pkts: 4,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: Some("ssl"),
         });
     }

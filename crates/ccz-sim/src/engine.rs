@@ -10,7 +10,8 @@ use xkit::obs::Metrics;
 use xkit::rng::StdRng;
 use xkit::rng::{RngExt, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+use xkit::collections::FastMap;
 use std::io::{self, Write};
 use std::net::Ipv4Addr;
 use zeek_lite::{Duration, Logs, Proto, Timestamp};
@@ -212,7 +213,7 @@ impl Simulation {
 // Internal model state
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct StubEntry {
     completed: Timestamp,
     expires: Timestamp,
@@ -239,7 +240,10 @@ struct Device {
     platform: usize,
     /// Multiplier on the browsing session gap (phones browse less).
     browse_gap: f64,
-    stub: HashMap<NameId, StubEntry>,
+    /// Per-device stub cache. `FastMap` (FxHash) because this map
+    /// is hit several times per name use and is only ever addressed
+    /// by key — never iterated (`xkit::collections` determinism rule).
+    stub: FastMap<NameId, StubEntry>,
     violates_ttl: bool,
     poll_names: Vec<NameId>,
     iot_name: Option<NameId>,
@@ -345,6 +349,11 @@ struct Engine<'a, S: Sink> {
     /// u64s here, folded into an obs snapshot once per shard.
     events: u64,
     nxdomains: u64,
+    /// Reusable answer-address buffer: every lookup borrows this slice
+    /// into its [`DnsEmission`] instead of allocating a fresh `Vec`.
+    addr_scratch: Vec<Ipv4Addr>,
+    /// Reusable embedded-name buffer for page views (same idea).
+    name_scratch: Vec<NameId>,
     // Cached distributions.
     dwell: LogNormal,
     app_delay: LogNormal,
@@ -382,6 +391,8 @@ impl<'a, S: Sink> Engine<'a, S> {
             seq: 0,
             events: 0,
             nxdomains: 0,
+            addr_scratch: Vec::new(),
+            name_scratch: Vec::new(),
             dwell: LogNormal::from_median(cfg.dwell_median_secs, 1.1),
             app_delay: LogNormal::from_median(cfg.app_start_delay_ms, cfg.app_start_sigma),
             server_rtt: LogNormal::from_median(25.0, 0.5),
@@ -536,7 +547,7 @@ impl<'a, S: Sink> Engine<'a, S> {
             kind,
             platform: plat,
             browse_gap: if kind == DeviceKind::Android { 7.0 } else { 1.0 },
-            stub: HashMap::new(),
+            stub: FastMap::default(),
             violates_ttl: self.rng.random_bool(0.55),
             poll_names,
             iot_name,
@@ -610,28 +621,30 @@ impl<'a, S: Sink> Engine<'a, S> {
     /// Updates the stub cache, emits the DNS transaction, records truth.
     /// Returns the stub entry (freshly inserted).
     fn lookup(&mut self, h: u32, d: u32, name: NameId, t: Timestamp, speculative: bool) -> StubEntry {
+        // `names` outlives the engine borrow ('a), so the emission can
+        // borrow the fqdn/cname straight out of the universe.
+        let names = self.names;
         let dev_platform = self.houses[h as usize].devices[d as usize].platform;
-        let pop = self.names.popularity(name);
-        let info_ttl = self.names.info(name).ttl;
-        let outcome = self.platforms[dev_platform].query(name, pop, info_ttl, t, &mut self.rng);
+        let pop = names.popularity(name);
+        let info = names.info(name);
+        let outcome = self.platforms[dev_platform].query(name, pop, info.ttl, t, &mut self.rng);
         let resolver = self.platforms[dev_platform].addr(&mut self.rng);
-        let (cname, addrs, _) = self.names.answers(name, &mut self.rng);
+        let (cname, _) = names.answers_into(name, &mut self.rng, &mut self.addr_scratch);
         let house = &mut self.houses[h as usize];
         let trans_id = house.dns_id();
         let client_port = house.port();
         let client = house.addr;
-        let fqdn = self.names.info(name).fqdn.clone();
         self.sink.dns(&DnsEmission {
             ts: t,
             client,
             resolver,
             trans_id,
             client_port,
-            query: fqdn,
+            query: &info.fqdn,
             rtt: outcome.duration,
             rcode: dns_wire::Rcode::NoError,
             cname,
-            addrs: addrs.clone(),
+            addrs: &self.addr_scratch,
             ttl: outcome.response_ttl,
         });
         let dns_index = self.truth.dns.len();
@@ -648,12 +661,12 @@ impl<'a, S: Sink> Engine<'a, S> {
             used: false,
             dns_index,
             platform: dev_platform,
-            addr: addrs[0],
-            cdn_hosted: self.names.info(name).cdn_hosted,
+            addr: self.addr_scratch[0],
+            cdn_hosted: info.cdn_hosted,
         };
         self.houses[h as usize].devices[d as usize]
             .stub
-            .insert(name, entry.clone());
+            .insert(name, entry);
         entry
     }
 
@@ -667,7 +680,7 @@ impl<'a, S: Sink> Engine<'a, S> {
         let cached = if self.rng.random_bool(self.cfg.p_stub_bypass) {
             None
         } else {
-            dev.stub.get(&name).cloned()
+            dev.stub.get(&name).copied()
         };
         let max_stale = Duration::from_secs_f64(self.cfg.max_stale_secs);
         if let Some(entry) = cached {
@@ -744,11 +757,11 @@ impl<'a, S: Sink> Engine<'a, S> {
             resolver,
             trans_id,
             client_port,
-            query: fqdn,
+            query: &fqdn,
             rtt: outcome.duration,
             rcode: dns_wire::Rcode::NxDomain,
             cname: None,
-            addrs: Vec::new(),
+            addrs: &[],
             ttl: 300,
         });
         self.truth.dns.push(TruthDns {
@@ -982,13 +995,18 @@ impl<'a, S: Sink> Engine<'a, S> {
         let main_name = via.unwrap_or_else(|| self.names.primary(svc));
         self.use_and_connect(h, d, main_name, t, Profile::PageMain);
 
-        // Embedded objects: dedup within the page.
+        // Embedded objects: dedup within the page. The name buffer is
+        // engine-owned scratch, taken out for the duration of the loop
+        // (schedule() needs `&mut self`) and put back afterwards so its
+        // capacity is reused by every page view.
         let (lo, hi) = self.cfg.embedded_names_per_page;
         let n_embedded = self.rng.random_range(lo..=hi);
-        let mut embedded = self.names.embedded_for_page(svc, n_embedded, &mut self.rng);
+        let mut embedded = std::mem::take(&mut self.name_scratch);
+        self.names
+            .embedded_for_page_into(svc, n_embedded, &mut self.rng, &mut embedded);
         embedded.sort();
         embedded.dedup();
-        for name in embedded {
+        for &name in &embedded {
             if self.rng.random_bool(0.08) {
                 // Below-the-fold object: resolved with the page's
                 // dns-prefetch pass, fetched only when scrolled into view.
@@ -1002,12 +1020,16 @@ impl<'a, S: Sink> Engine<'a, S> {
             }
         }
 
-        // Speculative link resolution.
+        // Speculative link resolution — reuses the same scratch buffer
+        // (the embedded loop above is done with it).
         let (plo, phi) = self.cfg.prefetch_links_per_page;
         let n_links = self.rng.random_range(plo..=phi);
-        let mut links: Vec<NameId> = (0..n_links)
-            .map(|_| self.names.pick_link_target(&mut self.rng))
-            .collect();
+        let mut links = embedded;
+        links.clear();
+        for _ in 0..n_links {
+            let target = self.names.pick_link_target(&mut self.rng);
+            links.push(target);
+        }
         links.sort();
         links.dedup();
         for name in &links {
@@ -1038,6 +1060,7 @@ impl<'a, S: Sink> Engine<'a, S> {
                 self.schedule(at, Ev::PageView { h, d, svc: next_svc, pages_left: pages_left - 1, via_prefetch: None });
             }
         }
+        self.name_scratch = links;
     }
 
     fn ev_poll(&mut self, h: u32, d: u32, t: Timestamp) {

@@ -193,16 +193,29 @@ impl NameUniverse {
     /// Names fetched by a page of the given service: a mix of the
     /// service's own auxiliary hostnames and popular shared third parties.
     pub fn embedded_for_page<R: Rng + ?Sized>(&self, svc: ServiceId, count: usize, rng: &mut R) -> Vec<NameId> {
+        let mut out = Vec::new();
+        self.embedded_for_page_into(svc, count, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free [`NameUniverse::embedded_for_page`]: fills `out`
+    /// (cleared first) with the same draws.
+    pub fn embedded_for_page_into<R: Rng + ?Sized>(
+        &self,
+        svc: ServiceId,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<NameId>,
+    ) {
         let s = &self.services[svc.0 as usize];
-        (0..count)
-            .map(|_| {
-                if !s.extras.is_empty() && rng.random_bool(0.55) {
-                    s.extras[rng.random_range(0..s.extras.len())]
-                } else {
-                    self.shared[self.shared_pop.sample(rng)]
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..count).map(|_| {
+            if !s.extras.is_empty() && rng.random_bool(0.55) {
+                s.extras[rng.random_range(0..s.extras.len())]
+            } else {
+                self.shared[self.shared_pop.sample(rng)]
+            }
+        }));
     }
 
     /// The normalised popularity weight of a name (used by the resolver
@@ -236,13 +249,29 @@ impl NameUniverse {
     /// Answer-set for one response: rotated address order (round-robin
     /// CDNs) and the CNAME chain if the name has one.
     pub fn answers<R: Rng + ?Sized>(&self, id: NameId, rng: &mut R) -> (Option<String>, Vec<Ipv4Addr>, u32) {
+        let mut addrs = Vec::new();
+        let (cname, ttl) = self.answers_into(id, rng, &mut addrs);
+        (cname.map(str::to_string), addrs, ttl)
+    }
+
+    /// Allocation-free [`NameUniverse::answers`]: the rotated addresses
+    /// land in `out` (cleared first) and the CNAME is borrowed from the
+    /// universe. Draws exactly the same random rotation as `answers`, so
+    /// the two are interchangeable without disturbing any RNG stream.
+    pub fn answers_into<'a, R: Rng + ?Sized>(
+        &'a self,
+        id: NameId,
+        rng: &mut R,
+        out: &mut Vec<Ipv4Addr>,
+    ) -> (Option<&'a str>, u32) {
         let info = self.info(id);
-        let mut addrs = info.addrs.clone();
-        if addrs.len() > 1 {
-            let rot = rng.random_range(0..addrs.len());
-            addrs.rotate_left(rot);
+        out.clear();
+        out.extend_from_slice(&info.addrs);
+        if out.len() > 1 {
+            let rot = rng.random_range(0..out.len());
+            out.rotate_left(rot);
         }
-        (info.cname.clone(), addrs, info.ttl)
+        (info.cname.as_deref(), info.ttl)
     }
 }
 

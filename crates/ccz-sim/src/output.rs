@@ -11,13 +11,18 @@ use std::net::Ipv4Addr;
 use dns_wire::{Message, Name, Rcode, Record, RrType};
 use netpkt::{Frame, MacAddr, TcpFlags, TcpHeader};
 use zeek_lite::{
-    Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, Logs, Proto,
-    Timestamp,
+    Answer, AnswerData, ConnRecord, ConnState, DnsTransaction, Duration, FiveTuple, History, Logs,
+    Proto, Timestamp,
 };
 
 /// One DNS transaction as the engine describes it.
-#[derive(Debug, Clone)]
-pub struct DnsEmission {
+///
+/// The name and answer fields *borrow* from the engine's name universe and
+/// scratch buffers: an emission is a transient view handed to the sink,
+/// which copies only what it actually keeps. This keeps the simulator's
+/// hot path free of per-lookup heap allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsEmission<'a> {
     /// Query departure time.
     pub ts: Timestamp,
     /// House (NAT) address.
@@ -29,15 +34,15 @@ pub struct DnsEmission {
     /// Ephemeral client port.
     pub client_port: u16,
     /// Query name.
-    pub query: String,
+    pub query: &'a str,
     /// Lookup duration.
     pub rtt: Duration,
     /// Response code.
     pub rcode: Rcode,
     /// Optional CNAME ahead of the address records.
-    pub cname: Option<String>,
+    pub cname: Option<&'a str>,
     /// Address answers.
-    pub addrs: Vec<Ipv4Addr>,
+    pub addrs: &'a [Ipv4Addr],
     /// TTL on the answer records.
     pub ttl: u32,
 }
@@ -83,7 +88,7 @@ pub enum ConnFate {
 /// Where engine emissions go.
 pub trait Sink {
     /// Record one DNS transaction.
-    fn dns(&mut self, e: &DnsEmission);
+    fn dns(&mut self, e: &DnsEmission<'_>);
     /// Record one connection.
     fn conn(&mut self, e: &ConnEmission);
 }
@@ -114,11 +119,21 @@ impl LogSink {
     /// house partition, not by worker scheduling).
     pub fn absorb(&mut self, other: LogSink) {
         let off = self.conns.len() as u64;
-        self.conns.extend(other.conns.into_iter().map(|mut c| {
-            c.uid += off;
-            c
-        }));
-        self.dns.extend(other.dns);
+        if off == 0 {
+            // First shard: take the buffer wholesale — uids are already
+            // 0-based, so the remap below would be `+= 0` on every record.
+            self.conns = other.conns;
+        } else {
+            self.conns.extend(other.conns.into_iter().map(|mut c| {
+                c.uid += off;
+                c
+            }));
+        }
+        if self.dns.is_empty() {
+            self.dns = other.dns;
+        } else {
+            self.dns.extend(other.dns);
+        }
     }
 
     /// Finish into sorted logs, also returning the DNS permutation:
@@ -129,7 +144,9 @@ impl LogSink {
     /// no uid field, hence the explicit permutation.
     pub fn into_logs_and_dns_perm(self) -> (Logs, Vec<usize>) {
         let mut order: Vec<usize> = (0..self.dns.len()).collect();
-        order.sort_by_key(|i| self.dns[*i].ts);
+        // Unstable sort with the emission index as tiebreaker == stable
+        // sort by ts (order starts ascending), minus the merge buffer.
+        order.sort_unstable_by_key(|i| (self.dns[*i].ts, *i));
         let mut perm = vec![0usize; order.len()];
         for (sorted_pos, emission_idx) in order.iter().enumerate() {
             perm[*emission_idx] = sorted_pos;
@@ -144,7 +161,8 @@ impl LogSink {
             dns,
             ..Default::default()
         };
-        logs.conns.sort_by_key(|c| c.ts);
+        // uid == emission index, so (ts, uid) unstable == stable by ts.
+        logs.conns.sort_unstable_by_key(|c| (c.ts, c.uid));
         (logs, perm)
     }
 }
@@ -156,12 +174,12 @@ impl Default for LogSink {
 }
 
 impl Sink for LogSink {
-    fn dns(&mut self, e: &DnsEmission) {
+    fn dns(&mut self, e: &DnsEmission<'_>) {
         let mut answers = Vec::with_capacity(e.addrs.len() + 1);
-        if let Some(c) = &e.cname {
-            answers.push(Answer { data: AnswerData::Cname(c.clone()), ttl: e.ttl });
+        if let Some(c) = e.cname {
+            answers.push(Answer { data: AnswerData::Cname(c.to_string()), ttl: e.ttl });
         }
-        for a in &e.addrs {
+        for a in e.addrs {
             answers.push(Answer { data: AnswerData::Addr(*a), ttl: e.ttl });
         }
         self.dns.push(DnsTransaction {
@@ -169,7 +187,7 @@ impl Sink for LogSink {
             client: e.client,
             resolver: e.resolver,
             trans_id: e.trans_id,
-            query: e.query.clone(),
+            query: e.query.to_string(),
             qtype: RrType::A,
             rcode: Some(e.rcode),
             rtt: Some(e.rtt),
@@ -182,10 +200,10 @@ impl Sink for LogSink {
             ConnFate::Established => {
                 let op = 4 + e.orig_bytes / 1448;
                 let rp = 3 + e.resp_bytes / 1448;
-                (ConnState::SF, rp, op, "ShAaFf".to_string())
+                (ConnState::SF, rp, op, History::from("ShAaFf"))
             }
-            ConnFate::NoAnswer => (ConnState::S0, 0, 3, "S".to_string()),
-            ConnFate::Refused => (ConnState::Rej, 1, 1, "Sr".to_string()),
+            ConnFate::NoAnswer => (ConnState::S0, 0, 3, History::from("S")),
+            ConnFate::Refused => (ConnState::Rej, 1, 1, History::from("Sr")),
         };
         let success = e.fate == ConnFate::Established;
         // Failure semantics mirror what a monitor recovers from packets:
@@ -274,16 +292,22 @@ impl PcapSink {
     /// scheduling.
     pub fn absorb(&mut self, other: PcapSink) {
         let off = self.seq;
-        self.frames.extend(other.frames.into_iter().map(|mut f| {
-            f.seq += off;
-            f
-        }));
+        if off == 0 {
+            self.frames = other.frames;
+        } else {
+            self.frames.extend(other.frames.into_iter().map(|mut f| {
+                f.seq += off;
+                f
+            }));
+        }
         self.seq += other.seq;
     }
 
     /// Sort by time and write the capture.
     pub fn write_pcap<W: Write>(mut self, out: W, snaplen: u32) -> io::Result<u64> {
-        self.frames.sort_by_key(|f| (f.ts, f.seq));
+        // `(ts, seq)` is a strict total order, so the unstable sort is
+        // deterministic (and skips the stable sort's merge buffer).
+        self.frames.sort_unstable_by_key(|f| (f.ts, f.seq));
         let mut w = pcapio::PcapWriter::new(out, snaplen, pcapio::TsPrecision::Nano)?;
         for f in &self.frames {
             let bytes = f.frame.encode();
@@ -302,8 +326,8 @@ impl Default for PcapSink {
 }
 
 impl Sink for PcapSink {
-    fn dns(&mut self, e: &DnsEmission) {
-        let name = Name::parse(&e.query).expect("simulator names are valid");
+    fn dns(&mut self, e: &DnsEmission<'_>) {
+        let name = Name::parse(e.query).expect("simulator names are valid");
         let query = Message::query(e.trans_id, name.clone(), RrType::A);
         self.push(
             e.ts,
@@ -346,14 +370,14 @@ impl Sink for PcapSink {
         }
         let mut resp = query.answer_template();
         resp.flags.rcode = e.rcode;
-        if let Some(c) = &e.cname {
+        if let Some(c) = e.cname {
             let target = Name::parse(c).expect("valid cname");
             resp.answers.push(Record::cname(name.clone(), e.ttl, target.clone()));
-            for a in &e.addrs {
+            for a in e.addrs {
                 resp.answers.push(Record::a(target.clone(), e.ttl, *a));
             }
         } else {
-            for a in &e.addrs {
+            for a in e.addrs {
                 resp.answers.push(Record::a(name.clone(), e.ttl, *a));
             }
         }
@@ -501,18 +525,21 @@ mod tests {
     use super::*;
     use zeek_lite::{Monitor, MonitorConfig};
 
-    fn dns_emission() -> DnsEmission {
+    fn dns_emission() -> DnsEmission<'static> {
         DnsEmission {
             ts: Timestamp::from_secs(10),
             client: Ipv4Addr::new(10, 77, 0, 1),
             resolver: Ipv4Addr::new(198, 51, 100, 53),
             trans_id: 99,
             client_port: 54000,
-            query: "www.s0001.com".into(),
+            query: "www.s0001.com",
             rtt: Duration::from_millis(6),
             rcode: Rcode::NoError,
-            cname: Some("edge-1.cdnint.net".into()),
-            addrs: vec![Ipv4Addr::new(104, 16, 0, 5)],
+            cname: Some("edge-1.cdnint.net"),
+            addrs: {
+                const ADDRS: &[Ipv4Addr] = &[Ipv4Addr::new(104, 16, 0, 5)];
+                ADDRS
+            },
             ttl: 300,
         }
     }

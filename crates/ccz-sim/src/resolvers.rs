@@ -18,8 +18,8 @@
 use crate::config::PlatformConfig;
 use crate::dists::LogNormal;
 use crate::names::NameId;
+use xkit::collections::FastMap;
 use xkit::rng::{Rng, RngExt};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use zeek_lite::{Duration, Timestamp};
 
@@ -41,8 +41,10 @@ pub struct ResolverPlatform {
     pub cfg: PlatformConfig,
     rtt: LogNormal,
     auth: LogNormal,
-    /// Per-backend cache: name → expiry instant.
-    backends: Vec<HashMap<NameId, Timestamp>>,
+    /// Per-backend cache: name → expiry instant. FxHash map: hit on
+    /// every query, addressed by key; `retain` removal is the only
+    /// traversal and is order-independent.
+    backends: Vec<FastMap<NameId, Timestamp>>,
     /// Counters for the run summary.
     pub queries: u64,
     /// Cache hits among those queries.
@@ -55,7 +57,7 @@ impl ResolverPlatform {
         ResolverPlatform {
             rtt: LogNormal::from_median(cfg.rtt_ms, cfg.rtt_sigma),
             auth: LogNormal::from_median(cfg.auth_delay_ms, cfg.auth_sigma),
-            backends: (0..cfg.backends).map(|_| HashMap::new()).collect(),
+            backends: (0..cfg.backends).map(|_| FastMap::default()).collect(),
             cfg,
             queries: 0,
             hits: 0,

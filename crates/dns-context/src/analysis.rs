@@ -5,12 +5,12 @@ use crate::classify::{
     classify_parallel, count_classes, no_dns_breakdown, resolver_thresholds, ttl_stats,
     ClassCounts, ConnClass, NoDnsBreakdown, ThresholdRule, TtlStats,
 };
-use crate::pairing::{Pairing, PairingPolicy};
+use crate::pairing::{Pairing, PairingPolicy, PairingScratch};
 use crate::perf::{PerfAnalysis, Significance};
 use crate::resolver::{platform_reports, PlatformMap, PlatformReport};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use zeek_lite::{Duration, Logs};
+use zeek_lite::{ConnColumns, DnsColumns, Duration, Logs};
 
 /// Analysis knobs, defaulting to the paper's choices.
 #[derive(Debug, Clone)]
@@ -118,10 +118,25 @@ impl std::fmt::Display for Coverage {
     }
 }
 
+/// Reusable buffers for [`Analysis::run_with`]: the pairing arena plus
+/// anything future stages want to retain across runs. A default scratch
+/// starts empty; repeated analyses (windowed sweeps, multi-seed
+/// benchmarks) that thread the same scratch through avoid rebuilding
+/// the pairing allocations every run.
+#[derive(Default)]
+pub struct AnalysisScratch {
+    /// Pairing arena, span map, and first-use tables.
+    pub pairing: PairingScratch,
+}
+
 /// The full pipeline, run once over a set of logs.
 pub struct Analysis<'a> {
     logs: &'a Logs,
     cfg: AnalysisConfig,
+    /// Columnar projection of the connection log (index-aligned).
+    conn_cols: ConnColumns,
+    /// Columnar projection of the DNS log scalars (index-aligned).
+    dns_cols: DnsColumns,
     /// Pairing results (one entry per application connection).
     pub pairing: Pairing,
     /// Per-connection class, aligned with `pairing.pairs`.
@@ -138,26 +153,53 @@ impl<'a> Analysis<'a> {
     /// out over contiguous chunks of the pairing. Every stage is a pure
     /// function of the logs, so the thread count never changes a result.
     pub fn run(logs: &'a Logs, cfg: AnalysisConfig) -> Analysis<'a> {
+        let mut scratch = AnalysisScratch::default();
+        Self::run_with(&mut scratch, logs, cfg)
+    }
+
+    /// [`Analysis::run`] with caller-provided scratch, so repeated runs
+    /// reuse the pairing allocations.
+    pub fn run_with(
+        scratch: &mut AnalysisScratch,
+        logs: &'a Logs,
+        cfg: AnalysisConfig,
+    ) -> Analysis<'a> {
+        // Columnar projections are built once up front; every downstream
+        // stage (thresholds, classification, §5.2, §6) scans these
+        // contiguous columns instead of striding through the rows.
+        let conn_cols = logs.conn_columns();
+        let dns_cols = logs.dns_columns();
+        let pairing_scratch = &mut scratch.pairing;
         let (pairing, thresholds) = xkit::par::join(
             cfg.threads,
-            || Pairing::build(&logs.conns, &logs.dns, cfg.policy),
-            || resolver_thresholds(&logs.dns, cfg.threshold_rule),
+            || Pairing::build_with(pairing_scratch, &logs.conns, &logs.dns, cfg.policy),
+            || resolver_thresholds(&dns_cols, cfg.threshold_rule),
         );
         let floor = Duration::from_secs_f64(cfg.threshold_rule.floor_ms / 1e3);
         let classes = classify_parallel(
             cfg.threads,
-            &logs.dns,
+            &dns_cols,
             &pairing,
             cfg.block_threshold,
             &thresholds,
             floor,
         );
-        Analysis { logs, cfg, pairing, classes, thresholds }
+        Analysis { logs, cfg, conn_cols, dns_cols, pairing, classes, thresholds }
     }
 
     /// The logs under analysis.
     pub fn logs(&self) -> &Logs {
         self.logs
+    }
+
+    /// The connection-log columnar projection built for this run.
+    pub fn conn_columns(&self) -> &ConnColumns {
+        &self.conn_cols
+    }
+
+    /// The DNS-log columnar projection built for this run.
+    pub fn dns_columns(&self) -> &DnsColumns {
+        &self.dns_cols
     }
 
     /// The configuration used.
@@ -192,12 +234,12 @@ impl<'a> Analysis<'a> {
 
     /// §5.2.
     pub fn ttl_stats(&self) -> TtlStats {
-        ttl_stats(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
+        ttl_stats(&self.conn_cols, &self.dns_cols, &self.pairing, &self.classes)
     }
 
     /// §6 / Figure 2.
     pub fn perf(&self) -> PerfAnalysis {
-        PerfAnalysis::compute(&self.logs.conns, &self.logs.dns, &self.pairing, &self.classes)
+        PerfAnalysis::compute(&self.conn_cols, &self.dns_cols, &self.pairing, &self.classes)
     }
 
     /// §6's quadrants at the configured thresholds.

@@ -5,7 +5,7 @@ use crate::pairing::Pairing;
 use crate::stats::{pct, Ecdf};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use zeek_lite::{ConnRecord, DnsTransaction, Duration};
+use zeek_lite::{ConnColumns, ConnRecord, DnsColumns, Duration};
 
 /// The paper's five connection classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,12 +134,12 @@ impl Default for ThresholdRule {
 }
 
 /// Compute per-resolver SC/R thresholds from the lookup-duration
-/// distributions (paper §5.3).
-pub fn resolver_thresholds(dns: &[DnsTransaction], rule: ThresholdRule) -> HashMap<Ipv4Addr, Duration> {
+/// distributions (paper §5.3). Scans the resolver and rtt columns.
+pub fn resolver_thresholds(dns: &DnsColumns, rule: ThresholdRule) -> HashMap<Ipv4Addr, Duration> {
     let mut by_resolver: HashMap<Ipv4Addr, (f64, usize)> = HashMap::new();
-    for t in dns {
-        if let Some(rtt) = t.rtt {
-            let e = by_resolver.entry(t.resolver).or_insert((f64::INFINITY, 0));
+    for (resolver, rtt) in dns.resolver.iter().zip(&dns.rtt) {
+        if let Some(rtt) = rtt {
+            let e = by_resolver.entry(*resolver).or_insert((f64::INFINITY, 0));
             e.0 = e.0.min(rtt.as_millis_f64());
             e.1 += 1;
         }
@@ -157,7 +157,7 @@ pub fn resolver_thresholds(dns: &[DnsTransaction], rule: ThresholdRule) -> HashM
 /// Classify every analysed connection. `thresholds` comes from
 /// [`resolver_thresholds`]; resolvers missing from it use the rule's floor.
 pub fn classify(
-    dns: &[DnsTransaction],
+    dns: &DnsColumns,
     pairing: &Pairing,
     block_threshold: Duration,
     thresholds: &HashMap<Ipv4Addr, Duration>,
@@ -173,9 +173,10 @@ pub fn classify(
 /// The per-connection classification rule (paper §4): unpaired → N;
 /// gap beyond the blocking threshold → P/LC by first use; blocked →
 /// SC/R by the paired lookup's duration against its resolver threshold.
+/// Reads only the resolver and rtt columns of the paired lookup.
 fn classify_pair(
     p: &crate::pairing::PairedConn,
-    dns: &[DnsTransaction],
+    dns: &DnsColumns,
     block_threshold: Duration,
     thresholds: &HashMap<Ipv4Addr, Duration>,
     floor: Duration,
@@ -189,9 +190,8 @@ fn classify_pair(
             ConnClass::LocalCache
         }
     } else {
-        let txn = &dns[di];
-        let thr = thresholds.get(&txn.resolver).copied().unwrap_or(floor);
-        let dur = txn.rtt.unwrap_or(Duration::ZERO);
+        let thr = thresholds.get(&dns.resolver[di]).copied().unwrap_or(floor);
+        let dur = dns.rtt[di].unwrap_or(Duration::ZERO);
         if dur <= thr {
             ConnClass::SharedCache
         } else {
@@ -206,7 +206,7 @@ fn classify_pair(
 /// identical to the sequential call for every thread count.
 pub fn classify_parallel(
     threads: usize,
-    dns: &[DnsTransaction],
+    dns: &DnsColumns,
     pairing: &Pairing,
     block_threshold: Duration,
     thresholds: &HashMap<Ipv4Addr, Duration>,
@@ -323,10 +323,11 @@ pub struct TtlStats {
     pub speculative_used_share_pct: f64,
 }
 
-/// Compute the §5.2 statistics.
+/// Compute the §5.2 statistics. Scans the conn ts column and the dns
+/// expiry column.
 pub fn ttl_stats(
-    conns: &[ConnRecord],
-    dns: &[DnsTransaction],
+    conns: &ConnColumns,
+    dns: &DnsColumns,
     pairing: &Pairing,
     classes: &[ConnClass],
 ) -> TtlStats {
@@ -352,8 +353,8 @@ pub fn ttl_stats(
         }
         if pair.expired {
             counters.0 += 1;
-            if let Some(expires) = dns[di].expires_at() {
-                staleness.push(conns[pair.conn].ts.since(expires).as_secs_f64());
+            if let Some(expires) = dns.expires[di] {
+                staleness.push(conns.ts[pair.conn].since(expires).as_secs_f64());
             }
         }
     }
@@ -375,7 +376,7 @@ pub fn ttl_stats(
 mod tests {
     use super::*;
     use crate::pairing::PairingPolicy;
-    use zeek_lite::{Answer, ConnState, FiveTuple, Proto, Timestamp};
+    use zeek_lite::{Answer, ConnState, DnsTransaction, FiveTuple, Proto, Timestamp};
 
     const HOUSE: Ipv4Addr = Ipv4Addr::new(10, 77, 0, 1);
     const RES_FAST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
@@ -412,7 +413,7 @@ mod tests {
             orig_pkts: 2,
             resp_pkts: 2,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: None,
         }
     }
@@ -422,10 +423,11 @@ mod tests {
         dns: &[DnsTransaction],
     ) -> (Pairing, Vec<ConnClass>, HashMap<Ipv4Addr, Duration>) {
         let pairing = Pairing::build(conns, dns, PairingPolicy::MostRecent);
+        let dns_cols = DnsColumns::from_rows(dns);
         let rule = ThresholdRule { min_lookups: 1, ..ThresholdRule::default() };
-        let thr = resolver_thresholds(dns, rule);
+        let thr = resolver_thresholds(&dns_cols, rule);
         let classes = classify(
-            dns,
+            &dns_cols,
             &pairing,
             Duration::from_millis(100),
             &thr,
@@ -485,7 +487,7 @@ mod tests {
 
     #[test]
     fn threshold_rule_respects_floor_and_min_lookups() {
-        let dns = vec![txn(0, 1, 300)]; // min 1 ms → raw thr 3.3 → floor 5
+        let dns = DnsColumns::from_rows(&[txn(0, 1, 300)]); // min 1 ms → raw thr 3.3 → floor 5
         let rule = ThresholdRule { min_lookups: 1, ..ThresholdRule::default() };
         let thr = resolver_thresholds(&dns, rule);
         assert_eq!(thr[&RES_FAST], Duration::from_millis(5));
@@ -521,7 +523,12 @@ mod tests {
         ];
         let (pairing, classes, _) = run(&conns, &dns);
         assert_eq!(classes, vec![ConnClass::Prefetched, ConnClass::LocalCache]);
-        let stats = ttl_stats(&conns, &dns, &pairing, &classes);
+        let stats = ttl_stats(
+            &ConnColumns::from_rows(&conns),
+            &DnsColumns::from_rows(&dns),
+            &pairing,
+            &classes,
+        );
         assert_eq!(stats.lc_violation_share_pct, 100.0);
         assert_eq!(stats.p_violation_share_pct, 0.0);
         assert_eq!(stats.violation_staleness_secs.len(), 1);

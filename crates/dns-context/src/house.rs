@@ -135,7 +135,7 @@ mod tests {
             orig_pkts: 2,
             resp_pkts: 4,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: Some("ssl"),
         }
     }
@@ -150,7 +150,7 @@ mod tests {
         ];
         let pairing = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
         let classes = crate::classify::classify(
-            &dns,
+            &zeek_lite::DnsColumns::from_rows(&dns),
             &pairing,
             Duration::from_millis(100),
             &HashMap::new(),

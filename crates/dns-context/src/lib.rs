@@ -43,8 +43,8 @@ pub mod timeseries;
 
 mod analysis;
 
-pub use analysis::{Analysis, AnalysisConfig, Coverage};
+pub use analysis::{Analysis, AnalysisConfig, AnalysisScratch, Coverage};
 pub use classify::{ClassCounts, ConnClass};
-pub use pairing::{PairedConn, Pairing, PairingPolicy};
+pub use pairing::{PairedConn, Pairing, PairingPolicy, PairingScratch};
 pub use stats::Ecdf;
 pub use stream::{EpochOutput, StreamEngine, StreamResult};

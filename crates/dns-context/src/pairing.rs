@@ -13,7 +13,8 @@
 
 use xkit::rng::StdRng;
 use xkit::rng::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use xkit::collections::FastMap;
 use std::net::Ipv4Addr;
 use zeek_lite::{ConnRecord, DnsTransaction, Duration, Timestamp};
 
@@ -45,13 +46,48 @@ pub struct PairedConn {
     pub first_use: bool,
 }
 
-/// One lookup's relevance to one address.
+/// One lookup's relevance to one address, packed flat in the arena.
+///
+/// `key` packs (client, answer address); a single global sort on
+/// `(key, completed, dns_idx)` groups each key's entries contiguously in
+/// exactly the order the old per-key `Vec` sort produced, so lookups
+/// become span scans over one allocation instead of a map of Vecs.
 #[derive(Debug, Clone, Copy)]
-struct IndexEntry {
+struct ArenaEntry {
+    key: u64,
     completed: Timestamp,
     expires: Timestamp,
-    dns_idx: usize,
+    dns_idx: u32,
 }
+
+#[inline]
+fn pack_key(client: Ipv4Addr, addr: Ipv4Addr) -> u64 {
+    (u64::from(u32::from(client)) << 32) | u64::from(u32::from(addr))
+}
+
+/// Reusable buffers for [`Pairing::build_with`].
+///
+/// A default scratch starts empty; passing the same scratch to repeated
+/// builds (the repro sweep, windowed re-analysis) reuses the arena, the
+/// span map, and the first-use tables instead of reallocating them.
+#[derive(Default)]
+pub struct PairingScratch {
+    arena: Vec<ArenaEntry>,
+    /// Entries in dns-log order, before placement into keyed runs.
+    staged: Vec<ArenaEntry>,
+    /// Keys in first-seen order — the deterministic traversal the
+    /// counting sort uses instead of iterating the map.
+    keys_in_order: Vec<u64>,
+    /// `packed key -> (start, end)` run in the arena. FxHash map:
+    /// addressed by key only, never iterated (bucket order must not
+    /// leak into output).
+    spans: FastMap<u64, (u32, u32)>,
+    first_use_ts: Vec<Timestamp>,
+    claimed: Vec<u64>,
+}
+
+/// Sentinel for "no connection has used this lookup yet".
+const UNSEEN: Timestamp = Timestamp(u64::MAX);
 
 /// The pairing index and results.
 pub struct Pairing {
@@ -72,81 +108,149 @@ impl Pairing {
     /// in the paper (the DNS log is its own dataset). The random policy
     /// draws from a fixed-seed RNG so analyses are reproducible.
     pub fn build(conns: &[ConnRecord], dns: &[DnsTransaction], policy: PairingPolicy) -> Pairing {
-        // Index lookups by (client, answer address), entries sorted by
-        // completion time (insertion order is ts order, and rtt jitter is
-        // small; sort anyway for strictness).
-        let mut index: HashMap<(Ipv4Addr, Ipv4Addr), Vec<IndexEntry>> = HashMap::new();
+        let mut scratch = PairingScratch::default();
+        Self::build_with(&mut scratch, conns, dns, policy)
+    }
+
+    /// [`Pairing::build`] with caller-provided scratch buffers, so the
+    /// arena and index tables are reused across repeated builds.
+    pub fn build_with(
+        scratch: &mut PairingScratch,
+        conns: &[ConnRecord],
+        dns: &[DnsTransaction],
+        policy: PairingPolicy,
+    ) -> Pairing {
+        assert!(dns.len() <= u32::MAX as usize, "dns log exceeds u32 arena indices");
+        // Flat arena of (client, answer address) entries, grouped into
+        // per-key runs by a counting sort: stage entries in dns order,
+        // count per key, carve contiguous runs (in first-seen key order),
+        // place, then sort each run by (completed, dns_idx). Run contents
+        // and internal order match what a global (key, completed, dns_idx)
+        // sort produces; only the cross-key arrangement differs, and no
+        // consumer observes that — every read goes through `spans`. The
+        // dns log is ts-sorted, so each run arrives nearly sorted by
+        // completion time and its per-run sort is close to linear.
+        let staged = &mut scratch.staged;
+        staged.clear();
         for (i, txn) in dns.iter().enumerate() {
             let (Some(completed), Some(expires)) = (txn.completed_at(), txn.expires_at()) else {
                 continue;
             };
             for addr in txn.addrs() {
-                index
-                    .entry((txn.client, addr))
-                    .or_default()
-                    .push(IndexEntry { completed, expires, dns_idx: i });
+                staged.push(ArenaEntry {
+                    key: pack_key(txn.client, addr),
+                    completed,
+                    expires,
+                    dns_idx: i as u32,
+                });
             }
         }
-        for entries in index.values_mut() {
-            // Explicit total order: completion time, then dns-log position.
-            // (Identical to the previous stable sort, but spelled out so
-            // the streaming engine can reproduce it entry by entry.)
-            entries.sort_by_key(|e| (e.completed, e.dns_idx));
+        let spans = &mut scratch.spans;
+        spans.clear();
+        let keys_in_order = &mut scratch.keys_in_order;
+        keys_in_order.clear();
+        for e in staged.iter() {
+            match spans.entry(e.key) {
+                Entry::Occupied(mut o) => o.get_mut().1 += 1,
+                Entry::Vacant(v) => {
+                    v.insert((0, 1));
+                    keys_in_order.push(e.key);
+                }
+            }
+        }
+        let mut offset = 0u32;
+        for k in keys_in_order.iter() {
+            let slot = spans.get_mut(k).expect("counted key");
+            let count = slot.1;
+            // (start, cursor); the cursor advances to `end` during placement.
+            *slot = (offset, offset);
+            offset += count;
+        }
+        let arena = &mut scratch.arena;
+        arena.clear();
+        arena.resize(
+            staged.len(),
+            ArenaEntry { key: 0, completed: UNSEEN, expires: UNSEEN, dns_idx: 0 },
+        );
+        for e in staged.iter() {
+            let slot = spans.get_mut(&e.key).expect("counted key");
+            arena[slot.1 as usize] = *e;
+            slot.1 += 1;
+        }
+        for k in keys_in_order.iter() {
+            let &(s, e) = spans.get(k).expect("counted key");
+            arena[s as usize..e as usize].sort_unstable_by_key(|en| (en.completed, en.dns_idx));
         }
 
         let mut rng = StdRng::seed_from_u64(0x5ca1ab1e);
-        let mut pairs = Vec::new();
-        let mut app_conn_indices = Vec::new();
+        let mut pairs = Vec::with_capacity(conns.len());
+        let mut app_conn_indices = Vec::with_capacity(conns.len());
         let mut dns_used = vec![false; dns.len()];
-        let mut first_use_ts: HashMap<usize, Timestamp> = HashMap::new();
 
         for (ci, conn) in conns.iter().enumerate() {
             if conn.is_dns() {
                 continue;
             }
             app_conn_indices.push(ci);
-            let key = (conn.id.orig_addr, conn.id.resp_addr);
-            let pair = match index.get(&key) {
-                None => PairedConn {
-                    conn: ci,
-                    dns: None,
-                    gap: None,
-                    expired: false,
-                    candidates: 0,
-                    first_use: false,
-                },
+            let key = pack_key(conn.id.orig_addr, conn.id.resp_addr);
+            let unpaired = PairedConn {
+                conn: ci,
+                dns: None,
+                gap: None,
+                expired: false,
+                candidates: 0,
+                first_use: false,
+            };
+            let span = spans.get(&key).map(|&(s, e)| &arena[s as usize..e as usize]);
+            let pair = match span {
+                None => unpaired,
                 Some(entries) => {
                     // Only lookups completed at or before the connection start.
                     let upto = entries.partition_point(|e| e.completed <= conn.ts);
                     if upto == 0 {
-                        PairedConn {
-                            conn: ci,
-                            dns: None,
-                            gap: None,
-                            expired: false,
-                            candidates: 0,
-                            first_use: false,
-                        }
+                        unpaired
                     } else {
                         let prior = &entries[..upto];
-                        let live: Vec<&IndexEntry> =
-                            prior.iter().filter(|e| e.expires > conn.ts).collect();
-                        let (chosen, expired) = if live.is_empty() {
+                        // Count live candidates in place (remembering the
+                        // last one) rather than collecting them into a Vec;
+                        // the random policy draws an index over that count
+                        // and rescans to it, preserving the draw sequence.
+                        let mut live_count = 0usize;
+                        let mut last_live = None;
+                        for e in prior {
+                            if e.expires > conn.ts {
+                                live_count += 1;
+                                last_live = Some(e);
+                            }
+                        }
+                        let (chosen, expired) = if live_count == 0 {
                             (prior.last().unwrap(), true)
                         } else {
                             match policy {
-                                PairingPolicy::MostRecent => (*live.last().unwrap(), false),
+                                PairingPolicy::MostRecent => (last_live.unwrap(), false),
                                 PairingPolicy::RandomNonExpired => {
-                                    (live[rng.random_range(0..live.len())], false)
+                                    let k = rng.random_range(0..live_count);
+                                    let mut seen = 0usize;
+                                    let mut hit = last_live.unwrap();
+                                    for e in prior {
+                                        if e.expires > conn.ts {
+                                            if seen == k {
+                                                hit = e;
+                                                break;
+                                            }
+                                            seen += 1;
+                                        }
+                                    }
+                                    (hit, false)
                                 }
                             }
                         };
                         PairedConn {
                             conn: ci,
-                            dns: Some(chosen.dns_idx),
+                            dns: Some(chosen.dns_idx as usize),
                             gap: Some(conn.ts.since(chosen.completed)),
                             expired,
-                            candidates: live.len(),
+                            candidates: live_count,
                             first_use: false, // filled below
                         }
                     }
@@ -157,20 +261,28 @@ impl Pairing {
 
         // First-use determination: the earliest-starting connection paired
         // with each lookup (conn log is ts-sorted, so first pairing wins).
+        // Indexed by dns position instead of a HashMap.
+        let first_use_ts = &mut scratch.first_use_ts;
+        first_use_ts.clear();
+        first_use_ts.resize(dns.len(), UNSEEN);
         for pair in &pairs {
             if let Some(di) = pair.dns {
                 dns_used[di] = true;
-                let ts = conns[pair.conn].ts;
-                first_use_ts.entry(di).or_insert(ts);
+                if first_use_ts[di] == UNSEEN {
+                    first_use_ts[di] = conns[pair.conn].ts;
+                }
             }
         }
         // Ties on timestamp: exactly one connection (the earliest in log
-        // order) is the first use. Single deterministic pass.
-        let mut claimed: HashMap<usize, ()> = HashMap::new();
+        // order) is the first use. Single deterministic pass over a bit set.
+        let claimed = &mut scratch.claimed;
+        claimed.clear();
+        claimed.resize((dns.len() + 63) / 64, 0);
         for pair in &mut pairs {
             if let Some(di) = pair.dns {
-                if first_use_ts[&di] == conns[pair.conn].ts && !claimed.contains_key(&di) {
-                    claimed.insert(di, ());
+                let (word, bit) = (di / 64, 1u64 << (di % 64));
+                if first_use_ts[di] == conns[pair.conn].ts && claimed[word] & bit == 0 {
+                    claimed[word] |= bit;
                     pair.first_use = true;
                 } else {
                     pair.first_use = false;
@@ -232,19 +344,21 @@ impl Pairing {
     }
 
     /// Count and share of answered-with-addresses lookups never used by
-    /// any connection (the paper's 37.8 % unused lookups).
-    pub fn unused_lookups(&self, dns: &[DnsTransaction]) -> (usize, f64) {
-        let eligible: Vec<usize> = dns
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.has_addrs() && t.rtt.is_some())
-            .map(|(i, _)| i)
-            .collect();
-        if eligible.is_empty() {
+    /// any connection (the paper's 37.8 % unused lookups). One pass over
+    /// the has_addrs and rtt columns.
+    pub fn unused_lookups(&self, dns: &zeek_lite::DnsColumns) -> (usize, f64) {
+        let mut eligible = 0usize;
+        let mut unused = 0usize;
+        for i in 0..dns.len() {
+            if dns.has_addrs[i] && dns.rtt[i].is_some() {
+                eligible += 1;
+                unused += usize::from(!self.dns_used[i]);
+            }
+        }
+        if eligible == 0 {
             return (0, 0.0);
         }
-        let unused = eligible.iter().filter(|i| !self.dns_used[**i]).count();
-        (unused, unused as f64 / eligible.len() as f64)
+        (unused, unused as f64 / eligible as f64)
     }
 }
 
@@ -289,7 +403,7 @@ mod tests {
             orig_pkts: 4,
             resp_pkts: 4,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: zeek_lite_service(port),
         }
     }
@@ -384,7 +498,7 @@ mod tests {
         let dns = vec![txn(0, HOUSE, SERVER, 300), txn(100, HOUSE, Ipv4Addr::new(9, 9, 9, 9), 300)];
         let conns = vec![conn(1_000, HOUSE, SERVER, 443)];
         let p = Pairing::build(&conns, &dns, PairingPolicy::MostRecent);
-        let (unused, share) = p.unused_lookups(&dns);
+        let (unused, share) = p.unused_lookups(&zeek_lite::DnsColumns::from_rows(&dns));
         assert_eq!(unused, 1);
         assert!((share - 0.5).abs() < 1e-12);
     }

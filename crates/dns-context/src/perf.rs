@@ -8,7 +8,7 @@
 use crate::classify::ConnClass;
 use crate::pairing::Pairing;
 use crate::stats::Ecdf;
-use zeek_lite::{ConnRecord, DnsTransaction};
+use zeek_lite::{ConnColumns, DnsColumns};
 
 /// One blocked connection's performance figures.
 #[derive(Debug, Clone, Copy)]
@@ -64,10 +64,11 @@ pub struct Significance {
 }
 
 impl PerfAnalysis {
-    /// Build from the classified pairing.
+    /// Build from the classified pairing. Scans the dns rtt column and
+    /// the conn duration column.
     pub fn compute(
-        conns: &[ConnRecord],
-        dns: &[DnsTransaction],
+        conns: &ConnColumns,
+        dns: &DnsColumns,
         pairing: &Pairing,
         classes: &[ConnClass],
     ) -> PerfAnalysis {
@@ -79,8 +80,8 @@ impl PerfAnalysis {
                 _ => continue,
             };
             let di = pair.dns.expect("blocked conns are paired");
-            let dns_ms = dns[di].rtt.expect("paired lookups answered").as_millis_f64();
-            let app_ms = conns[pair.conn].duration.as_millis_f64();
+            let dns_ms = dns.rtt[di].expect("paired lookups answered").as_millis_f64();
+            let app_ms = conns.duration[pair.conn].as_millis_f64();
             blocked.push(BlockedPerf { dns_ms, app_ms, shared_cache });
         }
         let delay_ms = Ecdf::new(blocked.iter().map(|b| b.dns_ms).collect());

@@ -418,9 +418,11 @@ impl StreamEngine {
             return unpaired;
         }
         let prior = &entries[..upto];
-        let live: Vec<&StreamEntry> = prior.iter().filter(|e| e.expires > conn.ts).collect();
-        let (chosen, expired) = if let Some(last_live) = live.last() {
-            (**last_live, false)
+        // Streaming is MostRecent-only, so one reverse scan for the newest
+        // live entry replaces collecting candidates into a Vec.
+        let last_live = prior.iter().rev().find(|e| e.expires > conn.ts);
+        let (chosen, expired) = if let Some(last_live) = last_live {
+            (*last_live, false)
         } else {
             (*prior.last().expect("upto > 0"), true)
         };
@@ -568,14 +570,45 @@ pub fn process_pcap<R: std::io::Read>(
     cfg: AnalysisConfig,
     mut sink: impl FnMut(EpochOutput),
 ) -> Result<StreamResult, pcapio::PcapError> {
-    let reader = pcapio::PcapReader::new(input)?;
+    let mut reader = pcapio::PcapReader::new(input)?;
     let mut engine = StreamEngine::new(monitor, cfg);
     let window_nanos = window.nanos();
-    for epoch in pcapio::Epochs::new(reader.records(), window_nanos) {
-        for rec in &epoch.records {
-            engine.handle_frame(Timestamp(rec.ts_nanos), &rec.data, rec.orig_len);
+    // Inline epoch windowing over the reader's borrowed records (the
+    // frames feed the engine immediately, so nothing needs to be owned).
+    // Semantics mirror `pcapio::Epochs` exactly: epoch k covers
+    // [k*window, (k+1)*window) ns, the epoch index is clamped monotone on
+    // disordered input, the first record opens its own epoch, window 0 is
+    // a single epoch with no boundary, and a read error ends the stream
+    // after the records already consumed (the failing record is counted
+    // in `capture.frames_rejected`).
+    let mut current_epoch = 0u64;
+    let mut started = false;
+    loop {
+        let rec = match reader.next_record() {
+            Ok(Some(rec)) => rec,
+            Ok(None) | Err(_) => break,
+        };
+        let e = if window_nanos == 0 {
+            0
+        } else {
+            (rec.ts_nanos / window_nanos).max(current_epoch)
+        };
+        if !started {
+            started = true;
+            current_epoch = e;
+        } else if e != current_epoch {
+            let boundary = Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)));
+            sink(engine.end_epoch(boundary));
+            current_epoch = e;
         }
-        let boundary = epoch.end_nanos(window_nanos).map(Timestamp);
+        engine.handle_frame(Timestamp(rec.ts_nanos), rec.data, rec.orig_len);
+    }
+    if started {
+        let boundary = if window_nanos == 0 {
+            None
+        } else {
+            Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)))
+        };
         sink(engine.end_epoch(boundary));
     }
     Ok(engine.finish())

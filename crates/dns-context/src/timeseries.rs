@@ -108,7 +108,7 @@ mod tests {
             orig_pkts: 1,
             resp_pkts: 1,
             state: ConnState::SF,
-            history: String::new(),
+            history: zeek_lite::History::new(),
             service: None,
         }
     }

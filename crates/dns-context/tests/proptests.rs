@@ -63,7 +63,7 @@ fn gen_world(r: &mut StdRng) -> World {
                 orig_pkts: 4,
                 resp_pkts: 8,
                 state: ConnState::SF,
-                history: String::new(),
+                history: zeek_lite::History::new(),
                 service: Some("ssl"),
             }
         })
@@ -135,7 +135,7 @@ fn first_use_is_unique() {
         }
         let used: std::collections::HashSet<_> = p.pairs.iter().filter_map(|x| x.dns).collect();
         assert_eq!(firsts.len(), used.len());
-        let (unused, share) = p.unused_lookups(&w.dns);
+        let (unused, share) = p.unused_lookups(&zeek_lite::DnsColumns::from_rows(&w.dns));
         let eligible = w.dns.iter().filter(|t| t.has_addrs() && t.rtt.is_some()).count();
         assert_eq!(unused, eligible - used.len());
         assert!((0.0..=1.0).contains(&share));
@@ -200,10 +200,11 @@ fn sc_monotone_in_resolver_threshold() {
     for _ in 0..CASES {
         let w = gen_world(&mut r);
         let p = Pairing::build(&w.conns, &w.dns, PairingPolicy::MostRecent);
+        let dns_cols = zeek_lite::DnsColumns::from_rows(&w.dns);
         let mut last = -1i64;
         for floor_ms in [1u64, 5, 20, 100, 10_000] {
             let classes = classify::classify(
-                &w.dns,
+                &dns_cols,
                 &p,
                 Duration::from_millis(100),
                 &Default::default(),

@@ -88,7 +88,7 @@ impl Frame {
         dst_mac: MacAddr,
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        header: TcpHeader,
+        header: TcpHeader<'_>,
         payload: &[u8],
     ) -> Frame {
         let ip = Ipv4Header::new(src, dst, IpProtocol::Tcp, header.header_len() + payload.len());
@@ -120,16 +120,16 @@ impl Frame {
 
 /// Parsed transport layer of a captured packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Transport {
+pub enum Transport<'a> {
     /// UDP header.
     Udp(UdpHeader),
     /// TCP header.
-    Tcp(TcpHeader),
+    Tcp(TcpHeader<'a>),
     /// A protocol the monitor counts but does not parse.
     Other(IpProtocol),
 }
 
-impl Transport {
+impl Transport<'_> {
     /// Source port if the transport has ports.
     pub fn src_port(&self) -> Option<u16> {
         match self {
@@ -157,7 +157,7 @@ pub struct Packet<'a> {
     /// Network-layer header.
     pub ip: Ipv4Header,
     /// Transport header.
-    pub transport: Transport,
+    pub transport: Transport<'a>,
     /// Payload bytes actually present in the capture.
     pub payload: &'a [u8],
     /// Payload length declared by the headers (may exceed `payload.len()`

@@ -78,10 +78,12 @@ impl fmt::Display for TcpFlags {
     }
 }
 
-/// A TCP header. Options are carried as raw bytes (padded to 32-bit words
-/// on encode) and never interpreted — the monitor does not need them.
+/// A TCP header. Options are carried as a raw borrowed slice (padded to
+/// 32-bit words on encode) and never interpreted — the monitor does not
+/// need them, and borrowing keeps [`TcpHeader::decode`] allocation-free
+/// on the per-frame hot path. Builders use `&'static []`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TcpHeader {
+pub struct TcpHeader<'a> {
     /// Source port.
     pub src_port: u16,
     /// Destination port.
@@ -95,12 +97,12 @@ pub struct TcpHeader {
     /// Receive window.
     pub window: u16,
     /// Raw option bytes (without padding).
-    pub options: Vec<u8>,
+    pub options: &'a [u8],
 }
 
-impl TcpHeader {
+impl<'a> TcpHeader<'a> {
     /// An initial SYN segment.
-    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> TcpHeader {
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> TcpHeader<'static> {
         TcpHeader {
             src_port,
             dst_port,
@@ -108,12 +110,18 @@ impl TcpHeader {
             ack: 0,
             flags: TcpFlags::SYN,
             window: 65535,
-            options: Vec::new(),
+            options: &[],
         }
     }
 
     /// A segment with the given flags, continuing an established flow.
-    pub fn segment(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> TcpHeader {
+    pub fn segment(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+    ) -> TcpHeader<'static> {
         TcpHeader {
             src_port,
             dst_port,
@@ -121,7 +129,7 @@ impl TcpHeader {
             ack,
             flags,
             window: 65535,
-            options: Vec::new(),
+            options: &[],
         }
     }
 
@@ -144,7 +152,7 @@ impl TcpHeader {
         out.extend_from_slice(&self.window.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&[0, 0]); // urgent pointer
-        out.extend_from_slice(&self.options);
+        out.extend_from_slice(self.options);
         // Pad options to a word boundary with end-of-options octets.
         while (out.len() - start) % 4 != 0 {
             out.push(0);
@@ -159,7 +167,7 @@ impl TcpHeader {
     ///
     /// Checksum verification requires the full segment; snaplen-truncated
     /// captures skip it (see [`TcpHeader::verify`]).
-    pub fn decode(buf: &[u8]) -> Result<(TcpHeader, usize), PktError> {
+    pub fn decode(buf: &'a [u8]) -> Result<(TcpHeader<'a>, usize), PktError> {
         if buf.len() < TCP_HEADER_LEN {
             return Err(PktError::Truncated {
                 layer: "tcp",
@@ -187,7 +195,7 @@ impl TcpHeader {
                 ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
                 flags: TcpFlags::from_u8(buf[13]),
                 window: u16::from_be_bytes([buf[14], buf[15]]),
-                options: buf[TCP_HEADER_LEN..header_len].to_vec(),
+                options: &buf[TCP_HEADER_LEN..header_len],
             },
             header_len,
         ))
@@ -250,7 +258,7 @@ mod tests {
     #[test]
     fn round_trip_with_options_and_payload() {
         let mut h = TcpHeader::segment(80, 50000, 7, 9, TcpFlags::PSH_ACK);
-        h.options = vec![2, 4, 5, 0xB4, 1]; // MSS option + NOP, needs padding
+        h.options = &[2, 4, 5, 0xB4, 1]; // MSS option + NOP, needs padding
         let payload = b"HTTP/1.1 200 OK\r\n";
         let ip = ip_for(h.header_len() + payload.len());
         let mut buf = Vec::new();
@@ -260,7 +268,7 @@ mod tests {
         let (back, off) = TcpHeader::decode(&buf).unwrap();
         assert_eq!(off, h.header_len());
         assert_eq!(back.src_port, 80);
-        assert_eq!(&back.options[..5], &h.options[..]);
+        assert_eq!(&back.options[..5], h.options);
         TcpHeader::verify(&ip, &buf).unwrap();
     }
 

@@ -106,6 +106,35 @@ pub struct PcapRecord {
     pub data: Vec<u8>,
 }
 
+/// A borrowed view of one captured packet.
+///
+/// Returned by [`PcapReader::next_record`]: `data` points into the
+/// reader's internal buffer, which is overwritten by the next read. This
+/// is the zero-copy hot path — one buffer serves the whole capture instead
+/// of one `Vec` per frame. Call [`RecordRef::to_owned`] only where a
+/// record must outlive the next read (e.g. the fault-rewrite seam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    /// Timestamp in nanoseconds since the epoch.
+    pub ts_nanos: u64,
+    /// Length the packet had on the wire.
+    pub orig_len: u32,
+    /// Bytes actually stored (at most snaplen), valid until the next read.
+    pub data: &'a [u8],
+}
+
+impl RecordRef<'_> {
+    /// Copy into an owned [`PcapRecord`] (the owned fallback for
+    /// consumers that must hold records across reads).
+    pub fn to_owned(&self) -> PcapRecord {
+        PcapRecord {
+            ts_nanos: self.ts_nanos,
+            orig_len: self.orig_len,
+            data: self.data.to_vec(), // owned-fallback: leaves the zero-copy path by design
+        }
+    }
+}
+
 /// Streaming pcap writer.
 ///
 /// Writes the global header on construction and one record per
@@ -195,6 +224,9 @@ pub struct PcapReader<R: Read> {
     records_read: u64,
     bytes_read: u64,
     records_rejected: u64,
+    /// Reusable record body buffer backing [`PcapReader::next_record`];
+    /// grows to the largest record seen and is never shrunk.
+    buf: Vec<u8>,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -239,6 +271,7 @@ impl<R: Read> PcapReader<R> {
             records_read: 0,
             bytes_read: 0,
             records_rejected: 0,
+            buf: Vec::new(),
         })
     }
 
@@ -277,8 +310,13 @@ impl<R: Read> PcapReader<R> {
         self.precision
     }
 
-    /// Read the next record, or `Ok(None)` at a clean end of file.
-    pub fn next_packet(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+    /// Read the next record as a borrowed view over the reader's internal
+    /// buffer, or `Ok(None)` at a clean end of file.
+    ///
+    /// The returned slice is valid until the next call on this reader;
+    /// use [`RecordRef::to_owned`] (or [`PcapReader::next_packet`]) when a
+    /// record must be kept across reads.
+    pub fn next_record(&mut self) -> Result<Option<RecordRef<'_>>, PcapError> {
         let mut rh = [0u8; RECORD_HEADER_LEN];
         match self.input.read_exact(&mut rh) {
             Ok(()) => {}
@@ -307,14 +345,25 @@ impl<R: Read> PcapReader<R> {
             TsPrecision::Micro => secs * 1_000_000_000 + subsec * 1_000,
             TsPrecision::Nano => secs * 1_000_000_000 + subsec,
         };
-        let mut data = vec![0u8; incl_len as usize];
-        self.input.read_exact(&mut data).map_err(|_| {
+        let n = incl_len as usize;
+        if self.buf.len() < n {
+            // Zero-fill only on growth; steady state re-reads in place.
+            self.buf.resize(n, 0);
+        }
+        self.input.read_exact(&mut self.buf[..n]).map_err(|_| {
             self.records_rejected += 1;
             PcapError::TruncatedFile
         })?;
         self.records_read += 1;
-        self.bytes_read += data.len() as u64;
-        Ok(Some(PcapRecord { ts_nanos, orig_len, data }))
+        self.bytes_read += n as u64;
+        Ok(Some(RecordRef { ts_nanos, orig_len, data: &self.buf[..n] }))
+    }
+
+    /// Read the next record into an owned [`PcapRecord`], or `Ok(None)` at
+    /// a clean end of file. Allocates per record; prefer
+    /// [`PcapReader::next_record`] on hot paths.
+    pub fn next_packet(&mut self) -> Result<Option<PcapRecord>, PcapError> {
+        Ok(self.next_record()?.map(|r| r.to_owned()))
     }
 
     /// Iterate over all remaining records.
@@ -868,6 +917,44 @@ mod tests {
             .flat_map(|e| e.records.into_iter().map(|r| r.ts_nanos))
             .collect();
         assert_eq!(all, stamps);
+    }
+
+    #[test]
+    fn next_record_borrows_and_agrees_with_next_packet() {
+        let frames: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; (i as usize % 17) + 1]).collect();
+        let refs: Vec<(&[u8], Option<u32>)> = frames.iter().map(|f| (f.as_slice(), None)).collect();
+        let buf = write_capture(TsPrecision::Nano, 65535, &refs);
+        let mut borrowed = PcapReader::new(&buf[..]).unwrap();
+        let mut owned = PcapReader::new(&buf[..]).unwrap();
+        loop {
+            let o = owned.next_packet().unwrap();
+            match borrowed.next_record().unwrap() {
+                Some(r) => {
+                    let o = o.expect("owned reader must agree");
+                    assert_eq!(r.ts_nanos, o.ts_nanos);
+                    assert_eq!(r.orig_len, o.orig_len);
+                    assert_eq!(r.data, &o.data[..]);
+                    assert_eq!(r.to_owned(), o);
+                }
+                None => {
+                    assert!(o.is_none());
+                    break;
+                }
+            }
+        }
+        assert_eq!(borrowed.records_read(), 40);
+        assert_eq!(borrowed.bytes_read(), owned.bytes_read());
+    }
+
+    #[test]
+    fn next_record_shorter_frame_after_longer_is_exact() {
+        // The internal buffer only grows; a short record after a long one
+        // must still be sliced to its own length.
+        let buf = write_capture(TsPrecision::Nano, 65535, &[(b"0123456789", None), (b"ab", None)]);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.next_record().unwrap().unwrap().data, b"0123456789");
+        assert_eq!(r.next_record().unwrap().unwrap().data, b"ab");
+        assert!(r.next_record().unwrap().is_none());
     }
 
     #[test]

@@ -16,14 +16,20 @@
 //!
 //! On top of those, [`fault`] provides a seeded deterministic fault
 //! injector (drop/truncate/bit-flip/duplicate/reorder) used to prove the
-//! capture pipeline degrades gracefully under hostile input, and [`obs`]
+//! capture pipeline degrades gracefully under hostile input, [`obs`]
 //! provides the observability substrate — deterministic-merge metrics,
-//! stage spans, and the workspace's single monotonic-clock seam.
+//! stage spans, and the workspace's single monotonic-clock seam — and
+//! [`collections`] provides an FxHash-backed [`collections::FastMap`]
+//! for hot, never-iterated key-addressed maps.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is
+// `bench::alloc`, whose `GlobalAlloc` impl is unsafe by definition of the
+// trait. Every other module refuses unsafe code outright.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod collections;
 pub mod fault;
 pub mod obs;
 pub mod par;

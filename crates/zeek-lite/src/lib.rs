@@ -25,16 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod degradation;
 pub mod dns;
+pub mod history;
 pub mod logfmt;
 mod monitor;
 pub mod time;
 mod tracker;
 pub mod types;
 
+pub use columns::{ConnColumns, DnsColumns};
 pub use degradation::DegradationStats;
 pub use dns::{Answer, AnswerData, DnsTransaction};
+pub use history::History;
 pub use monitor::{Logs, Monitor, MonitorConfig, MonitorStats};
 pub use time::{Duration, Timestamp};
 pub use tracker::{ConnRecord, ConnState};

@@ -13,6 +13,7 @@
 //!   resolver, answers with TTLs) rather than Zeek's full column set.
 
 use crate::dns::{Answer, AnswerData, DnsTransaction};
+use crate::history::History;
 use crate::time::{Duration, Timestamp};
 use crate::tracker::{ConnRecord, ConnState};
 use crate::types::{FiveTuple, Proto};
@@ -79,31 +80,53 @@ fn parse_field<T: FromStr>(s: &str, line: usize, what: &str) -> Result<T, LogErr
     s.parse().map_err(|_| LogError::BadLine { line, what: format!("bad {what}: {s:?}") })
 }
 
-/// Write a conn.log for the given records.
-pub fn write_conn_log<W: Write>(mut out: W, conns: &[ConnRecord]) -> io::Result<()> {
+fn write_conn_header<W: Write>(out: &mut W) -> io::Result<()> {
     writeln!(out, "#separator \\x09")?;
     writeln!(out, "#path\tconn")?;
-    writeln!(out, "#fields\t{CONN_FIELDS}")?;
+    writeln!(out, "#fields\t{CONN_FIELDS}")
+}
+
+fn write_conn_line<W: Write>(out: &mut W, c: &ConnRecord) -> io::Result<()> {
+    writeln!(
+        out,
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        fmt_ts(c.ts),
+        c.uid,
+        c.id.orig_addr,
+        c.id.orig_port,
+        c.id.resp_addr,
+        c.id.resp_port,
+        c.id.proto.log_name(),
+        c.service.unwrap_or("-"),
+        fmt_dur(c.duration),
+        c.orig_bytes,
+        c.resp_bytes,
+        c.state.log_name(),
+        c.orig_pkts,
+        c.resp_pkts,
+        if c.history.is_empty() { "-" } else { &c.history },
+    )
+}
+
+/// Write a conn.log for the given records.
+pub fn write_conn_log<W: Write>(mut out: W, conns: &[ConnRecord]) -> io::Result<()> {
+    write_conn_header(&mut out)?;
     for c in conns {
-        writeln!(
-            out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            fmt_ts(c.ts),
-            c.uid,
-            c.id.orig_addr,
-            c.id.orig_port,
-            c.id.resp_addr,
-            c.id.resp_port,
-            c.id.proto.log_name(),
-            c.service.unwrap_or("-"),
-            fmt_dur(c.duration),
-            c.orig_bytes,
-            c.resp_bytes,
-            c.state.log_name(),
-            c.orig_pkts,
-            c.resp_pkts,
-            if c.history.is_empty() { "-" } else { &c.history },
-        )?;
+        write_conn_line(&mut out, c)?;
+    }
+    Ok(())
+}
+
+/// Write a conn.log from a columnar projection, via its row views.
+/// Byte-identical to [`write_conn_log`] over the rows the projection
+/// was built from (both writers share the same line formatter).
+pub fn write_conn_log_columns<W: Write>(
+    mut out: W,
+    cols: &crate::columns::ConnColumns,
+) -> io::Result<()> {
+    write_conn_header(&mut out)?;
+    for c in cols.rows() {
+        write_conn_line(&mut out, &c)?;
     }
     Ok(())
 }
@@ -151,7 +174,7 @@ pub fn read_conn_log<R: Read>(input: R) -> Result<Vec<ConnRecord>, LogError> {
             state,
             orig_pkts: parse_field(f[12], line_no, "orig_pkts")?,
             resp_pkts: parse_field(f[13], line_no, "resp_pkts")?,
-            history: if f[14] == "-" { String::new() } else { f[14].to_string() },
+            history: if f[14] == "-" { History::new() } else { History::from(f[14]) },
         });
     }
     Ok(out)
@@ -358,6 +381,24 @@ mod tests {
         write_conn_log(&mut buf, &conns).unwrap();
         let back = read_conn_log(&buf[..]).unwrap();
         assert_eq!(back, conns);
+    }
+
+    #[test]
+    fn columnar_conn_writer_is_byte_identical() {
+        let mut conns = Vec::new();
+        for i in 0..50u64 {
+            let mut c = sample_conn();
+            c.uid = i;
+            c.ts = Timestamp(i * 999_999_937);
+            c.history = if i % 3 == 0 { History::new() } else { "ShAaDdFf".into() };
+            c.service = if i % 2 == 0 { None } else { Some("ssl") };
+            conns.push(c);
+        }
+        let cols = crate::columns::ConnColumns::from_rows(&conns);
+        let (mut by_rows, mut by_cols) = (Vec::new(), Vec::new());
+        write_conn_log(&mut by_rows, &conns).unwrap();
+        write_conn_log_columns(&mut by_cols, &cols).unwrap();
+        assert_eq!(by_rows, by_cols);
     }
 
     #[test]

@@ -200,6 +200,20 @@ impl Logs {
         }
     }
 
+    /// Columnar projection of the connection log (index-aligned with
+    /// `conns`; see [`crate::columns`]). Derived data — rebuild after
+    /// mutating the rows.
+    pub fn conn_columns(&self) -> crate::columns::ConnColumns {
+        crate::columns::ConnColumns::from_rows(&self.conns)
+    }
+
+    /// Columnar projection of the DNS log scalars (index-aligned with
+    /// `dns`; see [`crate::columns`]). Derived data — rebuild after
+    /// mutating the rows.
+    pub fn dns_columns(&self) -> crate::columns::DnsColumns {
+        crate::columns::DnsColumns::from_rows(&self.dns)
+    }
+
     /// Distinct originator (house) addresses, sorted — the monitored
     /// population. Includes DNS clients so houses with only DNS traffic
     /// in the window still appear.
@@ -490,12 +504,13 @@ impl Monitor {
     }
 
     /// Convenience: run a whole pcap stream through a fresh monitor.
+    /// Frames are parsed straight out of the reader's reusable buffer —
+    /// no per-record allocation.
     pub fn process_pcap<R: Read>(reader: R, config: MonitorConfig) -> Result<Logs, pcapio::PcapError> {
-        let pcap = pcapio::PcapReader::new(reader)?;
+        let mut pcap = pcapio::PcapReader::new(reader)?;
         let mut monitor = Monitor::new(config);
-        for record in pcap.records() {
-            let record = record?;
-            monitor.handle_frame(Timestamp(record.ts_nanos), &record.data, record.orig_len);
+        while let Some(record) = pcap.next_record()? {
+            monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
         }
         Ok(monitor.finish())
     }
@@ -708,7 +723,7 @@ mod tests {
             orig_pkts: 1,
             resp_pkts: 1,
             state: ConnState::SF,
-            history: String::new(),
+            history: crate::history::History::new(),
             service: crate::tracker::service_for_port(Proto::Tcp, port),
         };
         let logs = Logs {

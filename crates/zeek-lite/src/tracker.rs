@@ -6,6 +6,7 @@
 //! counts are recovered from sequence space so that snaplen-truncated
 //! captures still produce correct volumes — Zeek's approach.
 
+use crate::history::History;
 use crate::time::{Duration, Timestamp};
 use crate::types::{FiveTuple, Proto};
 use netpkt::TcpFlags;
@@ -88,7 +89,7 @@ pub struct ConnRecord {
     pub state: ConnState,
     /// Order of notable events ('S' SYN, 'h' SYN-ACK, 'A'/'a' ACK,
     /// 'D'/'d' data, 'F'/'f' FIN, 'R'/'r' RST; upper = originator).
-    pub history: String,
+    pub history: History,
     /// Well-known service guessed from the responder port.
     pub service: Option<&'static str>,
 }
@@ -222,7 +223,7 @@ struct Flow {
     last: Timestamp,
     orig: DirStats,
     resp: DirStats,
-    history: String,
+    history: History,
 }
 
 impl Flow {
@@ -355,7 +356,7 @@ impl FlowTracker {
                 last: m.ts,
                 orig: DirStats::default(),
                 resp: DirStats::default(),
-                history: String::new(),
+                history: History::new(),
             }
         });
         flow.last = m.ts;

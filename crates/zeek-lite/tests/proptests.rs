@@ -74,7 +74,7 @@ fn gen_conn(r: &mut StdRng) -> ConnRecord {
         orig_pkts: r.random_range(0u64..1_000_000),
         resp_pkts: r.random_range(0u64..1_000_000),
         state: gen_state(r),
-        history: gen_string(r, b"ShAaDdFfRr", 0, 8),
+        history: gen_string(r, b"ShAaDdFfRr", 0, 8).into(),
         service: zeek_lite_service(proto, resp_port),
     }
 }

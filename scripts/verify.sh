@@ -90,4 +90,47 @@ if [ -n "$bad" ]; then
 fi
 echo "clean: no unwrap/expect in netpkt or dns-wire parse paths"
 
+echo "== perf-hygiene suite =="
+# The per-frame parse path must stay copy-free: no to_vec()/.clone()
+# outside tests in the parse crates. Lines carrying the `owned-fallback`
+# marker are the sanctioned exits from the zero-copy path (the fault
+# rewrite seam, DoT stream reassembly, analysis-time name algebra, and
+# simulator-side builders).
+bad=$(awk '
+    FNR == 1 { intest = 0 }
+    /#\[cfg\(test\)\]/ { intest = 1 }
+    intest { next }
+    /^[[:space:]]*\/\// { next }
+    /owned-fallback/ { next }
+    /\.to_vec\(\)|\.clone\(\)/ { print FILENAME ":" FNR ": " $0 }
+' crates/pcapio/src/*.rs crates/netpkt/src/*.rs crates/dns-wire/src/*.rs || true)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: owned copy on a parse hot path (mark sanctioned exits with owned-fallback)" >&2
+    exit 1
+fi
+echo "clean: parse hot paths are copy-free outside owned-fallback seams"
+
+# The refactored hot path must be unobservable: bytes, logs, counts, and
+# metrics identical across threads, windows, and the owned fallback.
+cargo test -q --release --offline -p bench --test zero_copy_agreement
+
+# Bench smoke: the reusable-pool sweep must not lose to sequential on a
+# multi-core host (the per-seed respawn regression this repo once had).
+bench_dir=$(mktemp -d /tmp/verify_bench.XXXXXX)
+repo_root=$(pwd)
+(cd "$bench_dir" && cargo run -q --release --offline \
+    --manifest-path "$repo_root/Cargo.toml" -p bench --bin repro -- \
+    bench --houses 20 --days 0.05 --scale 0.3 --seeds 4 >/dev/null 2>&1)
+cores=$(grep -o '"cores": [0-9.]*' "$bench_dir/BENCH_repro.json" | awk '{print $2}')
+speedup=$(grep -o '"sweep_speedup_x": [0-9.]*' "$bench_dir/BENCH_repro.json" | awk '{print $2}')
+rm -rf "$bench_dir"
+awk -v c="$cores" -v s="$speedup" 'BEGIN {
+    if (c > 1 && s < 1.0) {
+        printf "FAIL: sweep_speedup_x %.2f < 1.0 on a %d-core host\n", s, c
+        exit 1
+    }
+    printf "sweep_speedup_x %.2f on %d core(s)\n", s, c
+}'
+
 echo "== verify OK =="
