@@ -61,6 +61,9 @@ struct Opts {
     obs: bool,
     obs_out: String,
     window_secs: f64,
+    source: String,
+    iface: String,
+    frames: u64,
     experiments: Vec<String>,
 }
 
@@ -85,6 +88,9 @@ fn parse_args() -> Opts {
         obs: false,
         obs_out: "OBS_repro.json".into(),
         window_secs: 60.0,
+        source: "file".into(),
+        iface: "lo".into(),
+        frames: 200,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -106,13 +112,19 @@ fn parse_args() -> Opts {
             "--window-secs" => {
                 opts.window_secs = grab("--window-secs").parse().expect("window-secs")
             }
+            "--source" => opts.source = grab("--source"),
+            "--iface" => opts.iface = grab("--iface"),
+            "--frames" => opts.frames = grab("--frames").parse().expect("frames"),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--window-secs W]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream all\n\
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream ingest all\n\
                      obs-check <snapshot.json>: validate a snapshot written by `repro obs`\n\
-                     stream: bounded-memory epoch pipeline (window set by --window-secs, 0 = unwindowed)"
+                     stream: bounded-memory epoch pipeline (window set by --window-secs, 0 = unwindowed)\n\
+                     ingest: stream pipeline behind the RecordSource seam; --source picks the backend\n\
+                     \x20       (file = pcap round trip, ring = in-memory SPSC ring, iface = AF_PACKET via\n\
+                     \x20       --iface/--frames, needs the raw-socket build and CAP_NET_RAW)"
                 );
                 std::process::exit(0);
             }
@@ -147,6 +159,12 @@ fn main() {
     // `stream` drives the bounded-memory epoch pipeline, capped like obs.
     if opts.experiments.iter().any(|e| e == "stream") {
         stream(&opts);
+        return;
+    }
+    // `ingest` drives the same pipeline through a chosen RecordSource
+    // backend; file and ring emit identical stdout documents.
+    if opts.experiments.iter().any(|e| e == "ingest") {
+        ingest(&opts);
         return;
     }
     // `fuzz` drives the packet path at its own (capped) scale.
@@ -695,15 +713,15 @@ fn obs(opts: &Opts) {
     spans.finish(s);
 
     // stage.zeek: read the capture record-by-record through the monitor
-    // (borrowed records over the reader's reusable buffer — no per-frame
-    // allocation).
+    // (borrowed records over the source's reusable buffer — no per-frame
+    // allocation; the file backend of the ingestion seam).
     let s = spans.start("stage.zeek");
-    let mut reader = dnsctx::pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
+    let mut source = dnsctx::pcapio::source::file(&pcap[..]).expect("pcap header");
     let mut monitor = Monitor::new(MonitorConfig::default());
-    while let Some(record) = reader.next_record().expect("pcap record") {
+    while let Some(record) = source.next_record().expect("pcap record") {
         monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
     }
-    metrics.merge(&reader.metrics());
+    metrics.merge(&source.metrics());
     let logs = monitor.finish();
     metrics.merge(&logs.metrics());
     spans.note(s, "conn_rows", logs.conns.len() as f64);
@@ -802,9 +820,9 @@ fn obs(opts: &Opts) {
 /// full-trace row totals — that is the point of the exercise, and the
 /// run asserts it.
 fn stream(opts: &Opts) {
-    use dnsctx::dns_context::stream::StreamEngine;
+    use dnsctx::dns_context::stream;
     use dnsctx::pcapio;
-    use dnsctx::zeek_lite::{MonitorConfig, Timestamp};
+    use dnsctx::zeek_lite::MonitorConfig;
     use xkit::obs::{Metrics, SpanLog};
 
     // The pcap bytes live in memory, so cap the workload like `obs` does.
@@ -839,51 +857,26 @@ fn stream(opts: &Opts) {
     // rows are classified incrementally and replayed through the
     // whole-house cache model, then dropped — nothing accumulates.
     let s = spans.start("stage.stream");
-    let mut reader = pcapio::PcapReader::new(&pcap[..]).expect("pcap header");
-    let mut engine = StreamEngine::new(MonitorConfig::default(), opts.analysis_cfg());
+    let mut source = pcapio::source::file(&pcap[..]).expect("pcap header");
     let mut replay = cache_sim::CacheReplay::new(Duration::from_secs(60));
     let window_nanos = window.nanos();
-    // Borrowed records over the reader's reusable buffer, with inline
-    // epoch windowing — same boundary semantics as `pcapio::Epochs`
-    // (mirrors `dns_context::stream::process_pcap`).
-    let mut current_epoch = 0u64;
-    let mut started = false;
-    loop {
-        let rec = match reader.next_record() {
-            Ok(Some(rec)) => rec,
-            Ok(None) | Err(_) => break,
-        };
-        let e = if window_nanos == 0 {
-            0
-        } else {
-            (rec.ts_nanos / window_nanos).max(current_epoch)
-        };
-        if !started {
-            started = true;
-            current_epoch = e;
-        } else if e != current_epoch {
-            let boundary = Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)));
-            let out = engine.end_epoch(boundary);
+    // One pass through the ingestion seam: `process_source` owns the
+    // epoch windowing (same boundary semantics as `pcapio::Epochs`); the
+    // sink replays each epoch's released DNS rows through the cache
+    // model and drops them.
+    let result = stream::process_source(
+        &mut source,
+        window,
+        MonitorConfig::default(),
+        opts.analysis_cfg(),
+        |out| {
             for txn in &out.dns {
                 replay.offer(txn);
             }
-            current_epoch = e;
-        }
-        engine.handle_frame(Timestamp(rec.ts_nanos), rec.data, rec.orig_len);
-    }
-    if started {
-        let boundary = if window_nanos == 0 {
-            None
-        } else {
-            Some(Timestamp((current_epoch + 1).saturating_mul(window_nanos)))
-        };
-        let out = engine.end_epoch(boundary);
-        for txn in &out.dns {
-            replay.offer(txn);
-        }
-    }
-    metrics.merge(&reader.metrics());
-    let result = engine.finish();
+        },
+    )
+    .expect("stream run");
+    metrics.merge(&source.metrics());
     for txn in &result.tail.dns {
         replay.offer(txn);
     }
@@ -931,6 +924,172 @@ fn stream(opts: &Opts) {
         opts.window_secs,
         metrics.to_json(),
         spans.to_json()
+    );
+    println!("{json}");
+}
+
+/// `ingest` experiment: one monitor + analysis pass driven through the
+/// pluggable `RecordSource` seam, with the backend picked on the command
+/// line.
+///
+/// `--source file` renders the simulated capture to in-memory pcap bytes
+/// and replays them through the file backend. `--source ring` pipes the
+/// same frames from a producer thread straight into the monitor over the
+/// in-memory ring — no pcap serialization, no parse on the consumer
+/// side. `--source iface` reads live frames from an `AF_PACKET` socket
+/// (requires `--features raw-socket` and CAP_NET_RAW; `--frames N` caps
+/// the read).
+///
+/// The stdout document carries only the deterministic metrics snapshot —
+/// no spans, and no backend name in the meta — so a `file` run and a
+/// `ring` run over the same workload emit byte-identical JSON.
+/// `verify.sh` pins that equivalence.
+fn ingest(opts: &Opts) {
+    use dnsctx::dns_context::stream;
+    use dnsctx::pcapio::{self, RecordSource};
+    use dnsctx::zeek_lite::MonitorConfig;
+    use xkit::obs::Metrics;
+
+    // Same workload cap as `stream`: the frames live in memory either way.
+    let houses = opts.houses.min(50);
+    let days = opts.days.min(1.0);
+    let cfg = WorkloadConfig {
+        scale: ScaleKnobs { houses, days, activity: opts.scale },
+        ..WorkloadConfig::default()
+    };
+    let window = Duration::from_secs_f64(opts.window_secs.max(0.0));
+    eprintln!(
+        "# ingest: source {} ({houses} houses x {days} days at activity {}, seed {}, threads {}, window {}s) ...",
+        opts.source, opts.scale, opts.seed, opts.threads, opts.window_secs
+    );
+    let mut metrics = Metrics::new();
+    let mut replay = cache_sim::CacheReplay::new(Duration::from_secs(60));
+    let monitor_cfg = MonitorConfig::default();
+
+    // Every backend funnels into the same `process_source` call; only the
+    // way records arrive differs. The sink closure replays released DNS
+    // rows through the cache model, exactly like `stream`.
+    let result = match opts.source.as_str() {
+        "file" => {
+            let sim = Simulation::new(cfg, opts.seed)
+                .expect("valid config")
+                .with_threads(opts.threads);
+            let mut pcap = Vec::new();
+            let (_truth, _frames, sim_metrics) =
+                sim.run_pcap_observed(&mut pcap, 65_535).expect("in-memory pcap");
+            metrics.merge(&sim_metrics);
+            let mut source = pcapio::source::file(&pcap[..]).expect("pcap header");
+            let result = stream::process_source(
+                &mut source,
+                window,
+                monitor_cfg,
+                opts.analysis_cfg(),
+                |out| {
+                    for txn in &out.dns {
+                        replay.offer(txn);
+                    }
+                },
+            )
+            .expect("ingest run");
+            metrics.merge(&source.metrics());
+            result
+        }
+        "ring" => {
+            let sim = Simulation::new(cfg, opts.seed)
+                .expect("valid config")
+                .with_threads(opts.threads);
+            let (mut tx, mut rx) =
+                pcapio::ring::channel(1 << 20, 65_535, pcapio::Backpressure::Block);
+            // The producer owns the sink; dropping it at the end of the
+            // closure closes the ring and the consumer sees EOF. Block
+            // policy means nothing drops, so the consumed sequence equals
+            // the offered sequence and the snapshot below is identical to
+            // the file backend's.
+            let producer = std::thread::spawn(move || {
+                let (_truth, _frames, sim_metrics) = sim.run_ring(&mut tx);
+                sim_metrics
+            });
+            let result = stream::process_source(
+                &mut rx,
+                window,
+                monitor_cfg,
+                opts.analysis_cfg(),
+                |out| {
+                    for txn in &out.dns {
+                        replay.offer(txn);
+                    }
+                },
+            )
+            .expect("ingest run");
+            metrics.merge(&producer.join().expect("producer thread"));
+            metrics.merge(&rx.metrics());
+            result
+        }
+        "iface" => {
+            #[cfg(feature = "raw-socket")]
+            {
+                let mut source = match pcapio::raw::RawSource::open(&opts.iface, 65_535) {
+                    Ok(s) => s.with_limit(opts.frames),
+                    Err(e) => {
+                        eprintln!("# ingest: cannot open interface {}: {e:?}", opts.iface);
+                        std::process::exit(2);
+                    }
+                };
+                let result = stream::process_source(
+                    &mut source,
+                    window,
+                    monitor_cfg,
+                    opts.analysis_cfg(),
+                    |out| {
+                        for txn in &out.dns {
+                            replay.offer(txn);
+                        }
+                    },
+                )
+                .expect("ingest run");
+                metrics.merge(&source.metrics());
+                result
+            }
+            #[cfg(not(feature = "raw-socket"))]
+            {
+                eprintln!(
+                    "# ingest: --source iface needs a build with --features raw-socket"
+                );
+                std::process::exit(2);
+            }
+        }
+        other => {
+            eprintln!("# ingest: unknown source {other:?} (expected file, ring, or iface)");
+            std::process::exit(2);
+        }
+    };
+
+    for txn in &result.tail.dns {
+        replay.offer(txn);
+    }
+    metrics.merge(&result.analysis_metrics);
+    metrics.merge(&result.stream_metrics);
+    metrics.add("cache.hits", replay.hits());
+    metrics.add("cache.misses", replay.misses());
+    metrics.add("cache.evicted", replay.evicted());
+    metrics.gauge_max("cache.peak_live", replay.peak_live() as f64);
+
+    eprintln!(
+        "# ingest[{}]: {} frames in, {} epochs, {} conn rows / {} dns rows",
+        opts.source,
+        count(metrics.counter("capture.frames_read") as usize),
+        metrics.counter("stream.epochs"),
+        count(metrics.counter("zeek.conn_rows") as usize),
+        count(metrics.counter("zeek.dns_rows") as usize),
+    );
+
+    let json = format!(
+        "{{\"meta\":{{\"experiment\":\"ingest\",\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{},\"window_secs\":{}}},\"metrics\":{}}}",
+        opts.scale,
+        opts.seed,
+        opts.threads,
+        opts.window_secs,
+        metrics.to_json()
     );
     println!("{json}");
 }

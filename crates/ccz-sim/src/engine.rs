@@ -207,6 +207,34 @@ impl Simulation {
         metrics.add("sim.frames_written", frames);
         Ok((truth, frames, metrics))
     }
+
+    /// Packet mode over the in-memory ring: expand and time-sort the
+    /// frames exactly like [`Simulation::run_pcap`], then push each
+    /// record straight into `sink` — no pcap serialization, no parse on
+    /// the other side. Blocks on a full ring when the sink's policy says
+    /// to, so run the consumer concurrently; records rejected by the
+    /// ring (drop policy / oversize) are counted in the sink's `dropped`.
+    ///
+    /// Returns the ground truth, the record count offered to the ring,
+    /// and the same metrics snapshot as [`Simulation::run_pcap_observed`]
+    /// (`sim.frames_written` counts offered records, so a lossless run is
+    /// metric-identical to the file backend).
+    pub fn run_ring(
+        &self,
+        sink: &mut pcapio::RingSink,
+    ) -> (GroundTruth, u64, Metrics) {
+        let (sinks, truth, _, mut metrics) = self.drive_all(PcapSink::new);
+        let mut merged = PcapSink::new();
+        for s in sinks {
+            merged.absorb(s);
+        }
+        let snaplen = sink.snaplen();
+        let frames = merged.emit_records(snaplen, |ts_nanos, orig_len, data| {
+            sink.push(ts_nanos, orig_len, data);
+        });
+        metrics.add("sim.frames_written", frames);
+        (truth, frames, metrics)
+    }
 }
 
 // ---------------------------------------------------------------------

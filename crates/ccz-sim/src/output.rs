@@ -303,17 +303,42 @@ impl PcapSink {
         self.seq += other.seq;
     }
 
-    /// Sort by time and write the capture.
-    pub fn write_pcap<W: Write>(mut self, out: W, snaplen: u32) -> io::Result<u64> {
+    /// Sort by time and hand every record to `emit` as
+    /// `(ts_nanos, orig_len, stored_bytes)`, truncated to `snaplen`
+    /// exactly as [`PcapSink::write_pcap`] would store it. This is the
+    /// serialization-free tap the in-memory ring backend feeds from;
+    /// returns the record count.
+    pub fn emit_records<F: FnMut(u64, u32, &[u8])>(mut self, snaplen: u32, mut emit: F) -> u64 {
         // `(ts, seq)` is a strict total order, so the unstable sort is
         // deterministic (and skips the stable sort's merge buffer).
         self.frames.sort_unstable_by_key(|f| (f.ts, f.seq));
-        let mut w = pcapio::PcapWriter::new(out, snaplen, pcapio::TsPrecision::Nano)?;
+        let mut n = 0u64;
         for f in &self.frames {
             let bytes = f.frame.encode();
-            w.write_packet(f.ts.nanos(), &bytes, Some(f.frame.wire_len() as u32))?;
+            let stored = bytes.len().min(snaplen as usize);
+            emit(f.ts.nanos(), f.frame.wire_len() as u32, &bytes[..stored]);
+            n += 1;
         }
-        let n = w.packets_written();
+        n
+    }
+
+    /// Sort by time and write the capture (the file-format spelling of
+    /// [`PcapSink::emit_records`], so both backends share one expansion
+    /// path and stay byte-identical by construction).
+    pub fn write_pcap<W: Write>(self, out: W, snaplen: u32) -> io::Result<u64> {
+        let mut w = pcapio::PcapWriter::new(out, snaplen, pcapio::TsPrecision::Nano)?;
+        let mut err = None;
+        let n = self.emit_records(snaplen, |ts_nanos, orig_len, data| {
+            if err.is_none() {
+                if let Err(e) = w.write_packet(ts_nanos, data, Some(orig_len)) {
+                    err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        debug_assert_eq!(n, w.packets_written());
         w.into_inner()?;
         Ok(n)
     }

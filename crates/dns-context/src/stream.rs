@@ -556,24 +556,25 @@ impl StreamEngine {
     }
 }
 
-/// Drive a pcap stream through a [`StreamEngine`] in `window`-sized
-/// epochs, handing each epoch's released rows to `sink`. A zero `window`
-/// runs a single epoch (everything releases at
+/// Drive any [`pcapio::RecordSource`] — file reader, in-memory ring, or
+/// live interface — through a [`StreamEngine`] in `window`-sized epochs,
+/// handing each epoch's released rows to `sink`. A zero `window` runs a
+/// single epoch (everything releases at
 /// [`finish`](StreamEngine::finish), as in the batch pipeline).
 ///
-/// This is the streaming counterpart of `Monitor::process_pcap` followed
-/// by `Analysis::run`: same rows, same metrics, O(window) peak memory.
-pub fn process_pcap<R: std::io::Read>(
-    input: R,
+/// This is the streaming counterpart of `Monitor::process_source`
+/// followed by `Analysis::run`: same rows, same metrics, O(window) peak
+/// memory.
+pub fn process_source<S: pcapio::RecordSource + ?Sized>(
+    source: &mut S,
     window: Duration,
     monitor: MonitorConfig,
     cfg: AnalysisConfig,
     mut sink: impl FnMut(EpochOutput),
 ) -> Result<StreamResult, pcapio::PcapError> {
-    let mut reader = pcapio::PcapReader::new(input)?;
     let mut engine = StreamEngine::new(monitor, cfg);
     let window_nanos = window.nanos();
-    // Inline epoch windowing over the reader's borrowed records (the
+    // Inline epoch windowing over the source's borrowed records (the
     // frames feed the engine immediately, so nothing needs to be owned).
     // Semantics mirror `pcapio::Epochs` exactly: epoch k covers
     // [k*window, (k+1)*window) ns, the epoch index is clamped monotone on
@@ -584,7 +585,7 @@ pub fn process_pcap<R: std::io::Read>(
     let mut current_epoch = 0u64;
     let mut started = false;
     loop {
-        let rec = match reader.next_record() {
+        let rec = match source.next() {
             Ok(Some(rec)) => rec,
             Ok(None) | Err(_) => break,
         };
@@ -612,6 +613,19 @@ pub fn process_pcap<R: std::io::Read>(
         sink(engine.end_epoch(boundary));
     }
     Ok(engine.finish())
+}
+
+/// The file-backend spelling of [`process_source`]: parse the pcap
+/// global header from `input` and stream the records through the engine.
+pub fn process_pcap<R: std::io::Read>(
+    input: R,
+    window: Duration,
+    monitor: MonitorConfig,
+    cfg: AnalysisConfig,
+    sink: impl FnMut(EpochOutput),
+) -> Result<StreamResult, pcapio::PcapError> {
+    let mut source = pcapio::source::file(input)?;
+    process_source(&mut source, window, monitor, cfg, sink)
 }
 
 #[cfg(test)]

@@ -1,0 +1,401 @@
+//! Fixed-capacity SPSC in-memory ring: the zero-round-trip backend of
+//! the ingestion seam.
+//!
+//! [`channel`] returns a producer half ([`RingSink`]) and a consumer
+//! half ([`RingSource`], a [`RecordSource`]). The producer frames each
+//! record as a 16-byte header (timestamp, on-wire length, stored length)
+//! plus its payload — snaplen-truncated exactly like
+//! [`crate::PcapWriter::write_packet`] — into a circular byte buffer of
+//! fixed capacity. Records wrap around the buffer edge at byte
+//! granularity; the consumer reassembles split records into its own
+//! reusable read buffer, so a [`RecordRef`] borrowed from the ring obeys
+//! the same "valid until the next read" contract as the file reader's.
+//!
+//! **Backpressure** is explicit and chosen at construction:
+//!
+//! * [`Backpressure::Block`] — a full ring parks the producer until the
+//!   consumer frees space. Nothing is dropped, so the consumed sequence
+//!   equals the produced sequence *regardless of thread scheduling*:
+//!   a seeded producer yields bit-identical downstream output every run.
+//! * [`Backpressure::DropNewest`] — a full ring rejects the incoming
+//!   record and counts it in `dropped`. Which records drop depends on
+//!   the producer/consumer interleaving, so this mode is deterministic
+//!   exactly when the interleaving is (e.g. the single-threaded seeded
+//!   schedules the property suite drives); across free-running threads
+//!   only the conservation law below is guaranteed.
+//!
+//! **Conservation**: every record offered to the ring is counted exactly
+//! once — `produced = consumed + dropped + pending`, where `pending` is
+//! what currently sits in the buffer. After the producer closes and the
+//! consumer drains to `Ok(None)`, `produced = consumed + dropped` holds
+//! exactly. A record that can never fit (framed size exceeds the ring
+//! capacity) is dropped under either policy rather than deadlocking a
+//! blocking producer.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::source::{RecordSource, SourceHeader};
+use crate::{PcapError, RecordRef, LINKTYPE_ETHERNET};
+
+/// Bytes of framing per record in the ring: timestamp (8) + on-wire
+/// length (4) + stored length (4).
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// What a full ring does to the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Park the producer until space frees up; nothing is ever dropped.
+    Block,
+    /// Reject the incoming record and count it in `dropped`.
+    DropNewest,
+}
+
+/// Outcome of a non-blocking [`RingSink::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The record is in the ring (counted in `produced`).
+    Enqueued,
+    /// The record was rejected — ring full under
+    /// [`Backpressure::DropNewest`], oversized for the capacity, or the
+    /// consumer is gone (counted in `produced` and `dropped`).
+    Dropped,
+    /// Ring full under [`Backpressure::Block`]: nothing was counted; the
+    /// caller should retry after the consumer makes progress.
+    WouldBlock,
+}
+
+struct State {
+    /// Circular byte storage; `head` is the read offset, `len` the bytes
+    /// in use. Frames may wrap the buffer edge at byte granularity.
+    buf: Box<[u8]>,
+    head: usize,
+    len: usize,
+    produced: u64,
+    consumed: u64,
+    dropped: u64,
+    tx_closed: bool,
+    rx_closed: bool,
+}
+
+impl State {
+    fn free(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// Copy `src` in at the tail, wrapping at the edge.
+    fn write_bytes(&mut self, src: &[u8]) {
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        let first = src.len().min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&src[..first]);
+        self.buf[..src.len() - first].copy_from_slice(&src[first..]);
+        self.len += src.len();
+    }
+
+    /// Copy `dst.len()` bytes out from the head, wrapping at the edge.
+    fn read_bytes(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        let cap = self.buf.len();
+        let first = n.min(cap - self.head);
+        dst[..first].copy_from_slice(&self.buf[self.head..self.head + first]);
+        dst[first..].copy_from_slice(&self.buf[..n - first]);
+        self.head = (self.head + n) % cap;
+        self.len -= n;
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Producer waits here for free space (Block policy).
+    space: Condvar,
+    /// Consumer waits here for data.
+    data: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking peer must not cascade: the state itself is always
+        // consistent (mutations happen fully inside the lock).
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Build a ring of `capacity` bytes with the given snaplen and
+/// backpressure policy, returning the producer and consumer halves.
+///
+/// `capacity` bounds the framed bytes in flight (each record costs
+/// [`FRAME_HEADER_LEN`] + its stored length); a record whose framed size
+/// exceeds `capacity` outright is dropped-with-counter under either
+/// policy.
+pub fn channel(capacity: usize, snaplen: u32, policy: Backpressure) -> (RingSink, RingSource) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: vec![0u8; capacity.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            produced: 0,
+            consumed: 0,
+            dropped: 0,
+            tx_closed: false,
+            rx_closed: false,
+        }),
+        space: Condvar::new(),
+        data: Condvar::new(),
+    });
+    let sink = RingSink { shared: Arc::clone(&shared), policy, snaplen };
+    let source = RingSource {
+        shared,
+        buf: Vec::new(),
+        snaplen,
+        frames_read: 0,
+        bytes_read: 0,
+    };
+    (sink, source)
+}
+
+/// Producer half of the ring.
+///
+/// Dropping the sink closes the stream: once the consumer drains what
+/// remains, [`RingSource::next`] returns `Ok(None)`.
+pub struct RingSink {
+    shared: Arc<Shared>,
+    policy: Backpressure,
+    snaplen: u32,
+}
+
+impl RingSink {
+    /// The snaplen every stored record is truncated to.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Offer one record without blocking. Counters move only on
+    /// [`PushOutcome::Enqueued`] / [`PushOutcome::Dropped`];
+    /// [`PushOutcome::WouldBlock`] leaves the record unaccounted for the
+    /// caller to retry.
+    pub fn try_push(&mut self, ts_nanos: u64, orig_len: u32, data: &[u8]) -> PushOutcome {
+        let stored = data.len().min(self.snaplen as usize);
+        let needed = FRAME_HEADER_LEN + stored;
+        let mut st = self.shared.lock();
+        if needed > st.buf.len() || st.rx_closed {
+            st.produced += 1;
+            st.dropped += 1;
+            return PushOutcome::Dropped;
+        }
+        if st.free() < needed {
+            match self.policy {
+                Backpressure::Block => return PushOutcome::WouldBlock,
+                Backpressure::DropNewest => {
+                    st.produced += 1;
+                    st.dropped += 1;
+                    return PushOutcome::Dropped;
+                }
+            }
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[..8].copy_from_slice(&ts_nanos.to_le_bytes());
+        header[8..12].copy_from_slice(&orig_len.to_le_bytes());
+        header[12..16].copy_from_slice(&(stored as u32).to_le_bytes());
+        st.write_bytes(&header);
+        st.write_bytes(&data[..stored]);
+        st.produced += 1;
+        drop(st);
+        self.shared.data.notify_one();
+        PushOutcome::Enqueued
+    }
+
+    /// Offer one record, honouring the backpressure policy: under
+    /// [`Backpressure::Block`] this parks until space frees up. Returns
+    /// whether the record was enqueued (`false` means it was counted
+    /// dropped: ring full under DropNewest, oversized, or consumer gone).
+    pub fn push(&mut self, ts_nanos: u64, orig_len: u32, data: &[u8]) -> bool {
+        loop {
+            match self.try_push(ts_nanos, orig_len, data) {
+                PushOutcome::Enqueued => return true,
+                PushOutcome::Dropped => return false,
+                PushOutcome::WouldBlock => {
+                    let stored = data.len().min(self.snaplen as usize);
+                    let needed = FRAME_HEADER_LEN + stored;
+                    let mut st = self.shared.lock();
+                    while st.free() < needed && !st.rx_closed {
+                        st = self.shared.space.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records offered so far (enqueued + dropped).
+    pub fn produced(&self) -> u64 {
+        self.shared.lock().produced
+    }
+
+    /// Records rejected so far (full ring under DropNewest, oversized,
+    /// or consumer gone).
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().dropped
+    }
+}
+
+impl Drop for RingSink {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.tx_closed = true;
+        drop(st);
+        self.shared.data.notify_all();
+    }
+}
+
+/// Consumer half of the ring: a [`RecordSource`] whose records borrow
+/// from a reusable read buffer, exactly like the file reader's.
+pub struct RingSource {
+    shared: Arc<Shared>,
+    /// Reusable record body buffer; grows to the largest record seen.
+    /// Wrapped (edge-split) records are reassembled here, so the
+    /// borrowed view is always contiguous.
+    buf: Vec<u8>,
+    snaplen: u32,
+    frames_read: u64,
+    bytes_read: u64,
+}
+
+/// Pop one frame from the locked state into the consumer's reusable
+/// buffer (a free function over disjoint fields so the guard can borrow
+/// `shared` while `buf` is written). Returns `(ts_nanos, orig_len,
+/// stored)`.
+fn pop_frame(buf: &mut Vec<u8>, st: &mut State) -> (u64, u32, usize) {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    st.read_bytes(&mut header);
+    let ts_nanos = u64::from_le_bytes([
+        header[0], header[1], header[2], header[3], header[4], header[5], header[6], header[7],
+    ]);
+    let orig_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let stored = u32::from_le_bytes([header[12], header[13], header[14], header[15]]) as usize;
+    if buf.len() < stored {
+        // Zero-fill only on growth; steady state re-reads in place.
+        buf.resize(stored, 0);
+    }
+    st.read_bytes(&mut buf[..stored]);
+    st.consumed += 1;
+    (ts_nanos, orig_len, stored)
+}
+
+impl RingSource {
+    /// Non-blocking pull: `None` when the ring is currently empty but the
+    /// producer is still live (distinguish from end-of-stream via
+    /// [`RingSource::is_closed`]).
+    pub fn try_next(&mut self) -> Option<RecordRef<'_>> {
+        let mut st = self.shared.lock();
+        if st.len == 0 {
+            return None;
+        }
+        let (ts_nanos, orig_len, stored) = pop_frame(&mut self.buf, &mut st);
+        drop(st);
+        self.shared.space.notify_one();
+        self.frames_read += 1;
+        self.bytes_read += stored as u64;
+        Some(RecordRef { ts_nanos, orig_len, data: &self.buf[..stored] })
+    }
+
+    /// Whether the producer has closed its half (records may still be
+    /// pending in the ring).
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().tx_closed
+    }
+
+    /// Records consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.shared.lock().consumed
+    }
+
+    /// Producer-side drop count, visible from the consumer for
+    /// conservation checks.
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().dropped
+    }
+}
+
+impl RecordSource for RingSource {
+    fn header(&self) -> SourceHeader {
+        SourceHeader { link_type: LINKTYPE_ETHERNET, snaplen: self.snaplen }
+    }
+
+    /// Blocking pull: parks until a record arrives or the producer
+    /// closes; `Ok(None)` once the ring is closed *and* drained.
+    fn next(&mut self) -> Result<Option<RecordRef<'_>>, PcapError> {
+        let mut st = self.shared.lock();
+        while st.len == 0 {
+            if st.tx_closed {
+                return Ok(None);
+            }
+            st = self.shared.data.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let (ts_nanos, orig_len, stored) = pop_frame(&mut self.buf, &mut st);
+        drop(st);
+        self.shared.space.notify_one();
+        self.frames_read += 1;
+        self.bytes_read += stored as u64;
+        Ok(Some(RecordRef { ts_nanos, orig_len, data: &self.buf[..stored] }))
+    }
+
+    fn metrics(&self) -> xkit::obs::Metrics {
+        let mut m = xkit::obs::Metrics::new();
+        m.add("capture.frames_read", self.frames_read);
+        m.add("capture.bytes_read", self.bytes_read);
+        // The ring carries pre-validated records, so nothing is ever
+        // rejected; the counter exists so backend snapshots stay
+        // field-compatible with the file reader's.
+        m.add("capture.frames_rejected", 0);
+        m
+    }
+}
+
+impl Drop for RingSource {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.rx_closed = true;
+        drop(st);
+        self.shared.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_eof_semantics() {
+        let (mut tx, mut rx) = channel(1024, 65_535, Backpressure::Block);
+        assert!(tx.push(1, 10, b"aaaa"));
+        assert!(tx.push(2, 4, b"bb"));
+        drop(tx);
+        let r = rx.next().unwrap().unwrap();
+        assert_eq!((r.ts_nanos, r.orig_len, r.data), (1, 10, &b"aaaa"[..]));
+        let r = rx.next().unwrap().unwrap();
+        assert_eq!((r.ts_nanos, r.orig_len, r.data), (2, 4, &b"bb"[..]));
+        assert!(rx.next().unwrap().is_none());
+        assert_eq!(rx.consumed(), 2);
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn snaplen_truncates_stored_bytes_only() {
+        let (mut tx, mut rx) = channel(1024, 3, Backpressure::Block);
+        assert!(tx.push(5, 9, b"abcdefghi"));
+        drop(tx);
+        let r = rx.next().unwrap().unwrap();
+        assert_eq!((r.ts_nanos, r.orig_len, r.data), (5, 9, &b"abc"[..]));
+        let m = RecordSource::metrics(&rx);
+        assert_eq!(m.counter("capture.bytes_read"), 3);
+    }
+
+    #[test]
+    fn oversized_record_drops_under_block_policy() {
+        let (mut tx, mut rx) = channel(32, 65_535, Backpressure::Block);
+        assert!(!tx.push(1, 100, &[0u8; 100]), "cannot ever fit: must drop, not deadlock");
+        assert_eq!(tx.produced(), 1);
+        assert_eq!(tx.dropped(), 1);
+        drop(tx);
+        assert!(rx.next().unwrap().is_none());
+    }
+}

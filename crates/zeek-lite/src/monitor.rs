@@ -503,16 +503,26 @@ impl Monitor {
         logs
     }
 
-    /// Convenience: run a whole pcap stream through a fresh monitor.
-    /// Frames are parsed straight out of the reader's reusable buffer —
+    /// Convenience: drain any [`pcapio::RecordSource`] — file reader,
+    /// in-memory ring, or live interface — through a fresh monitor.
+    /// Frames are parsed straight out of the source's reusable buffer —
     /// no per-record allocation.
-    pub fn process_pcap<R: Read>(reader: R, config: MonitorConfig) -> Result<Logs, pcapio::PcapError> {
-        let mut pcap = pcapio::PcapReader::new(reader)?;
+    pub fn process_source<S: pcapio::RecordSource + ?Sized>(
+        source: &mut S,
+        config: MonitorConfig,
+    ) -> Result<Logs, pcapio::PcapError> {
         let mut monitor = Monitor::new(config);
-        while let Some(record) = pcap.next_record()? {
+        while let Some(record) = source.next()? {
             monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
         }
         Ok(monitor.finish())
+    }
+
+    /// Convenience: run a whole pcap stream through a fresh monitor —
+    /// the file-backend spelling of [`Monitor::process_source`].
+    pub fn process_pcap<R: Read>(reader: R, config: MonitorConfig) -> Result<Logs, pcapio::PcapError> {
+        let mut source = pcapio::source::file(reader)?;
+        Self::process_source(&mut source, config)
     }
 }
 

@@ -63,6 +63,53 @@ if [ -n "$bad" ]; then
 fi
 echo "clean: no batch fallbacks in the streaming engine"
 
+echo "== ingest suite =="
+# One RecordSource seam, three backends: the file and ring paths must be
+# indistinguishable downstream, and the ring must conserve every record.
+cargo test -q --release --offline -p dnsctx --test ingest_agreement
+cargo test -q --offline -p pcapio --test ring_props
+cargo build -q --offline -p pcapio --features raw-socket
+# The ring-fed CLI run must emit the exact stdout document of the
+# file-fed run over the same workload (spans are excluded by design).
+ing_file=$(mktemp /tmp/verify_ingest_file.XXXXXX.json)
+ing_ring=$(mktemp /tmp/verify_ingest_ring.XXXXXX.json)
+cargo run -q --release --offline -p bench --bin repro -- \
+    ingest --houses 10 --days 0.05 --source file 2>/dev/null > "$ing_file"
+cargo run -q --release --offline -p bench --bin repro -- \
+    ingest --houses 10 --days 0.05 --source ring 2>/dev/null > "$ing_ring"
+if ! cmp -s "$ing_file" "$ing_ring"; then
+    echo "FAIL: ingest stdout differs between the file and ring backends" >&2
+    rm -f "$ing_file" "$ing_ring"
+    exit 1
+fi
+rm -f "$ing_file" "$ing_ring"
+echo "clean: ingest file and ring backends emit identical documents"
+# Raw-socket loopback smoke, only where AF_PACKET is plausibly permitted
+# (the test also self-skips if the open is denied at runtime).
+if [ "$(id -u)" = "0" ]; then
+    cargo test -q --offline -p pcapio --features raw-socket \
+        --test raw_loopback -- --ignored
+else
+    echo "skipping raw-socket loopback smoke (needs CAP_NET_RAW)"
+fi
+# All ingestion goes through the seam: non-test code outside pcapio must
+# not construct a PcapReader by hand (pcapio::source::file is the one
+# sanctioned file-backend constructor).
+bad=$(find crates -path '*/src/*' -name '*.rs' ! -path 'crates/pcapio/*' \
+    -exec awk '
+    FNR == 1 { intest = 0 }
+    /#\[cfg\(test\)\]/ { intest = 1 }
+    intest { next }
+    /^[[:space:]]*\/\// { next }
+    /PcapReader::new/ { print FILENAME ":" FNR ": " $0 }
+' {} + || true)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: direct PcapReader construction outside the ingestion seam" >&2
+    exit 1
+fi
+echo "clean: all ingestion constructs sources via pcapio::source"
+
 echo "== clock deny-list (Instant outside xkit) =="
 # Wall-clock reads go through xkit::obs::clock so timing stays in one
 # seam; no other crate may call Instant::now() directly.

@@ -1,21 +1,68 @@
 //! End-to-end semantic checks: the paper's heuristics, run over the
 //! observable logs alone, must largely recover the simulator's ground
 //! truth — and the derived analyses must satisfy their invariants.
+//!
+//! Two shared studies over the same workload and seed:
+//!
+//! * `truth_study` — the direct log backend, where connection uid =
+//!   ground-truth index (the LogSink contract). Only the tests that join
+//!   analysis results back to the ground truth use it.
+//! * `ring_study` — the packet path fed to the monitor through the
+//!   in-memory ring `RecordSource`, i.e. the deployment-shaped pipeline.
+//!   The monitor assigns its own uids, so no truth joins; everything
+//!   else (class mix, significance, gaps, cache models, pairing) runs
+//!   over these logs, and a regression pin keeps the ring byte-identical
+//!   to the file backend.
+
+use std::sync::OnceLock;
 
 use dnsctx::cache_sim;
-use dnsctx::ccz_sim::{ConnClass as TruthClass, ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::ccz_sim::{
+    ConnClass as TruthClass, ScaleKnobs, SimOutput, Simulation, WorkloadConfig,
+};
 use dnsctx::dns_context::{Analysis, AnalysisConfig, ConnClass};
-use dnsctx::zeek_lite::Duration;
+use dnsctx::pcapio::{self, Backpressure};
+use dnsctx::zeek_lite::{logfmt, Duration, Logs, Monitor, MonitorConfig};
 
-fn study() -> (dnsctx::ccz_sim::SimOutput, AnalysisConfig) {
-    let cfg = WorkloadConfig {
+const SEED: u64 = 42;
+
+fn base_cfg() -> WorkloadConfig {
+    WorkloadConfig {
         scale: ScaleKnobs { houses: 12, days: 0.3, activity: 1.0 },
         ..WorkloadConfig::default()
-    };
-    let out = Simulation::new(cfg, 42).unwrap().run();
+    }
+}
+
+fn study_acfg() -> AnalysisConfig {
     let mut acfg = AnalysisConfig::default();
     acfg.threshold_rule.min_lookups = 200;
-    (out, acfg)
+    acfg
+}
+
+/// Direct-log study, shared across the truth-join tests.
+fn truth_study() -> &'static (SimOutput, AnalysisConfig) {
+    static STUDY: OnceLock<(SimOutput, AnalysisConfig)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let out = Simulation::new(base_cfg(), SEED).unwrap().run();
+        (out, study_acfg())
+    })
+}
+
+/// Ring-driven monitor study, shared across the invariant tests: the
+/// simulator pushes frames into the SPSC ring from a producer thread and
+/// the monitor pulls them out through the `RecordSource` seam.
+fn ring_study() -> &'static (Logs, AnalysisConfig) {
+    static STUDY: OnceLock<(Logs, AnalysisConfig)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let (mut tx, mut rx) = pcapio::ring::channel(1 << 20, 65_535, Backpressure::Block);
+        let producer = std::thread::spawn(move || {
+            let sim = Simulation::new(base_cfg(), SEED).unwrap();
+            sim.run_ring(&mut tx);
+        });
+        let logs = Monitor::process_source(&mut rx, MonitorConfig::default()).unwrap();
+        producer.join().unwrap();
+        (logs, study_acfg())
+    })
 }
 
 fn truth_of(analysis_class: ConnClass) -> TruthClass {
@@ -28,10 +75,35 @@ fn truth_of(analysis_class: ConnClass) -> TruthClass {
     }
 }
 
+/// Regression pin for the ingestion seam: the ring-fed monitor must be
+/// indistinguishable from the classic file backend over the same
+/// workload — logs and monitor metrics byte-identical.
+#[test]
+fn ring_study_is_byte_identical_to_file_backend() {
+    let (ring_logs, _) = ring_study();
+    let sim = Simulation::new(base_cfg(), SEED).unwrap();
+    let mut pcap = Vec::new();
+    sim.run_pcap(&mut pcap, 65_535).unwrap();
+    let file_logs = Monitor::process_pcap(&pcap[..], MonitorConfig::default()).unwrap();
+
+    let render = |logs: &Logs| {
+        let mut buf = Vec::new();
+        logfmt::write_conn_log(&mut buf, &logs.conns).unwrap();
+        logfmt::write_dns_log(&mut buf, &logs.dns).unwrap();
+        buf
+    };
+    assert_eq!(render(ring_logs), render(&file_logs), "rendered logs must match");
+    assert_eq!(
+        ring_logs.metrics().render_table(),
+        file_logs.metrics().render_table(),
+        "monitor metrics must match"
+    );
+}
+
 #[test]
 fn analysis_recovers_ground_truth_classes() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (out, acfg) = truth_study();
+    let analysis = Analysis::run(&out.logs, acfg.clone());
 
     // Connection uid = ground-truth index (LogSink contract), so the
     // analysis classification can be joined to the truth exactly.
@@ -69,8 +141,8 @@ fn analysis_recovers_ground_truth_classes() {
 
 #[test]
 fn classes_partition_and_shares_sum() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (logs, acfg) = ring_study();
+    let analysis = Analysis::run(logs, acfg.clone());
     let counts = analysis.class_counts();
     assert_eq!(counts.total(), analysis.pairing.app_conn_count());
     let share_sum: f64 = ConnClass::all().iter().map(|c| counts.share_pct(*c)).sum();
@@ -83,8 +155,8 @@ fn classes_partition_and_shares_sum() {
 
 #[test]
 fn significance_quadrants_partition() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (logs, acfg) = ring_study();
+    let analysis = Analysis::run(logs, acfg.clone());
     let sig = analysis.significance();
     let sum = sig.neither_pct + sig.rel_only_pct + sig.abs_only_pct + sig.both_pct;
     assert!((sum - 100.0).abs() < 1e-9, "quadrants sum to {sum}");
@@ -95,8 +167,8 @@ fn significance_quadrants_partition() {
 fn first_use_gap_split_is_discriminative() {
     // The Figure 1 rationale: short gaps are dominated by first uses,
     // long gaps by cache reuse.
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (logs, acfg) = ring_study();
+    let analysis = Analysis::run(logs, acfg.clone());
     let gaps = analysis.gap_analysis();
     assert!(
         gaps.first_use_within_knee > 0.75,
@@ -113,8 +185,8 @@ fn first_use_gap_split_is_discriminative() {
 
 #[test]
 fn shared_cache_truth_recovered_by_duration_threshold() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (out, acfg) = truth_study();
+    let analysis = Analysis::run(&out.logs, acfg.clone());
     // For blocked conns, compare the SC/R call against the resolver's
     // ground truth (did the platform actually answer from cache?).
     let mut agree = 0usize;
@@ -140,15 +212,15 @@ fn shared_cache_truth_recovered_by_duration_threshold() {
 
 #[test]
 fn cache_simulations_have_consistent_reports() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (logs, acfg) = ring_study();
+    let analysis = Analysis::run(logs, acfg.clone());
 
-    let wh = cache_sim::whole_house(&out.logs, &analysis);
+    let wh = cache_sim::whole_house(logs, &analysis);
     assert!(wh.moved <= wh.sc_conns + wh.r_conns);
     assert!(wh.moved_share_of_all_pct <= 100.0);
     assert!(wh.moved > 0, "a shared house cache must absorb something");
 
-    let r = cache_sim::refresh(&out.logs, &analysis, Duration::from_secs(10));
+    let r = cache_sim::refresh(logs, &analysis, Duration::from_secs(10));
     assert!((r.standard.hit_pct + r.standard.miss_pct - 100.0).abs() < 1e-9);
     assert!((r.refresh_all.hit_pct + r.refresh_all.miss_pct - 100.0).abs() < 1e-9);
     assert!(r.refresh_all.hit_pct > r.standard.hit_pct, "refreshing must help hits");
@@ -157,7 +229,7 @@ fn cache_simulations_have_consistent_reports() {
 
     // Selective refresh sits between the two policies.
     let sel = cache_sim::refresh_selective(
-        &out.logs,
+        logs,
         &analysis,
         Duration::from_secs(10),
         3,
@@ -169,8 +241,8 @@ fn cache_simulations_have_consistent_reports() {
 
 #[test]
 fn pairing_ambiguity_mostly_single_candidate() {
-    let (out, acfg) = study();
-    let analysis = Analysis::run(&out.logs, acfg);
+    let (logs, acfg) = ring_study();
+    let analysis = Analysis::run(logs, acfg.clone());
     let share = analysis.pairing.single_candidate_share();
     assert!(
         share > 0.55 && share < 0.999,
@@ -182,11 +254,11 @@ fn pairing_ambiguity_mostly_single_candidate() {
 fn random_pairing_policy_shifts_results_only_slightly() {
     // The paper's robustness check: re-running with random candidate
     // selection must leave the high-level class mix close to the default.
-    let (out, acfg) = study();
-    let a1 = Analysis::run(&out.logs, acfg.clone());
-    let mut cfg2 = acfg;
+    let (logs, acfg) = ring_study();
+    let a1 = Analysis::run(logs, acfg.clone());
+    let mut cfg2 = acfg.clone();
     cfg2.policy = dnsctx::dns_context::PairingPolicy::RandomNonExpired;
-    let a2 = Analysis::run(&out.logs, cfg2);
+    let a2 = Analysis::run(logs, cfg2);
     let c1 = a1.class_counts();
     let c2 = a2.class_counts();
     for class in ConnClass::all() {

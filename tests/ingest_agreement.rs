@@ -1,0 +1,224 @@
+//! Ingest agreement suite.
+//!
+//! The monitor now pulls frames through the `pcapio::RecordSource` seam,
+//! and the simulator can feed it three ways: a rendered pcap byte stream
+//! (file backend), the in-memory SPSC ring (no serialization round
+//! trip), or a live `AF_PACKET` socket. The first two must be
+//! indistinguishable downstream — this suite pins that the raw record
+//! stream, the rendered (sorted) logs, the class counts, and the metrics
+//! snapshots are byte-identical for file vs ring, across worker threads
+//! {1, 8} × epoch windows {30 s, ∞}, mirroring `zero_copy_agreement`.
+
+use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
+use dnsctx::dns_context::{stream, Analysis, AnalysisConfig};
+use dnsctx::pcapio::{self, Backpressure, RecordSource, RingSource};
+use dnsctx::zeek_lite::{logfmt, Duration, Logs, Monitor, MonitorConfig};
+
+const SEED: u64 = 1303;
+const SNAPLEN: u32 = 65_535;
+
+/// Small-but-busy workload: the packet path buffers every frame, so the
+/// suite stays at integration-test scale (same shape as the zero-copy
+/// agreement suite).
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        scale: ScaleKnobs { houses: 12, days: 0.25, activity: 0.5 },
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Render the workload to pcap bytes — the file backend's input.
+fn capture_bytes() -> Vec<u8> {
+    let sim = Simulation::new(workload(), SEED).expect("valid config");
+    let mut bytes = Vec::new();
+    let (_, frames) = sim.run_pcap(&mut bytes, SNAPLEN).expect("in-memory pcap");
+    assert!(frames > 0, "workload must produce traffic");
+    bytes
+}
+
+/// Feed the same workload into a fresh ring from a producer thread and
+/// hand back the consumer end. The join handle resolves to
+/// `(offered, produced, dropped)` from the sink side once the producer
+/// is done; dropping the sink inside the thread closes the ring, so a
+/// full drain on `rx` terminates with EOF.
+fn ring_source(capacity: usize) -> (RingSource, std::thread::JoinHandle<(u64, u64, u64)>) {
+    let sim = Simulation::new(workload(), SEED).expect("valid config");
+    let (mut tx, rx) = pcapio::ring::channel(capacity, SNAPLEN, Backpressure::Block);
+    let producer = std::thread::spawn(move || {
+        let (_, offered, _) = sim.run_ring(&mut tx);
+        (offered, tx.produced(), tx.dropped())
+    });
+    (rx, producer)
+}
+
+/// Canonical byte form of both logs (Zeek-style TSV, sorted by the
+/// monitor's own ordering guarantees).
+fn render_logs(logs: &Logs) -> Vec<u8> {
+    let mut buf = Vec::new();
+    logfmt::write_conn_log(&mut buf, &logs.conns).expect("in-memory write");
+    logfmt::write_dns_log(&mut buf, &logs.dns).expect("in-memory write");
+    buf
+}
+
+fn analysis_cfg(threads: usize) -> AnalysisConfig {
+    AnalysisConfig { threads, ..AnalysisConfig::default() }
+}
+
+/// Drain any source into owned `(ts, orig_len, payload)` triples.
+fn drain<S: RecordSource + ?Sized>(source: &mut S) -> Vec<(u64, u32, Vec<u8>)> {
+    let mut out = Vec::new();
+    while let Some(rec) = source.next().expect("record") {
+        out.push((rec.ts_nanos, rec.orig_len, rec.data.to_owned()));
+    }
+    out
+}
+
+#[test]
+fn record_streams_are_identical_file_vs_ring() {
+    let bytes = capture_bytes();
+    let mut file = pcapio::source::file(&bytes[..]).expect("pcap header");
+    // A deliberately small ring (4 KiB for ~full-size ethernet frames)
+    // forces constant wraparound and frame splits at the buffer edge;
+    // Block policy means none of that is observable.
+    let (mut ring, producer) = ring_source(4096);
+
+    assert_eq!(file.header(), ring.header(), "both backends advertise the same capture header");
+
+    let from_file = drain(&mut file);
+    let from_ring = drain(&mut ring);
+    let (offered, produced, dropped) = producer.join().expect("producer thread");
+
+    assert!(!from_file.is_empty());
+    assert_eq!(from_file, from_ring, "record streams must be identical, byte for byte");
+    assert_eq!(dropped, 0, "Block policy must not drop");
+    assert_eq!(offered, produced, "every offered record is accounted as produced");
+    assert_eq!(produced, ring.consumed(), "full drain consumes everything produced");
+
+    // The capture metrics are part of the contract: same counter names,
+    // same values, rendered identically.
+    assert_eq!(
+        file.metrics().to_json(),
+        ring.metrics().to_json(),
+        "capture.* metrics must be byte-identical across backends"
+    );
+}
+
+#[test]
+fn batch_monitor_agrees_file_vs_ring() {
+    let bytes = capture_bytes();
+    let batch = Monitor::process_pcap(&bytes[..], MonitorConfig::default())
+        .expect("clean capture parses");
+
+    let (mut ring, producer) = ring_source(1 << 16);
+    let ring_logs =
+        Monitor::process_source(&mut ring, MonitorConfig::default()).expect("ring run");
+    producer.join().expect("producer thread");
+
+    assert_eq!(
+        render_logs(&ring_logs),
+        render_logs(&batch),
+        "ring-fed monitor logs must equal the file-fed logs"
+    );
+    assert_eq!(
+        ring_logs.metrics().render_table(),
+        batch.metrics().render_table(),
+        "monitor metrics must be backend-invariant"
+    );
+    assert_eq!(
+        Analysis::run(&ring_logs, analysis_cfg(1)).class_counts(),
+        Analysis::run(&batch, analysis_cfg(1)).class_counts(),
+        "class counts must be backend-invariant"
+    );
+}
+
+#[test]
+fn stream_agrees_for_all_windows_and_threads() {
+    let bytes = capture_bytes();
+    let batch_logs = Monitor::process_pcap(&bytes[..], MonitorConfig::default())
+        .expect("clean capture parses");
+    let batch_rendered = render_logs(&batch_logs);
+    let batch_counts = Analysis::run(&batch_logs, analysis_cfg(1)).class_counts();
+
+    for window in [Duration::from_secs(30), Duration::ZERO] {
+        for threads in [1usize, 8] {
+            // File backend through the seam.
+            let mut file_released = Logs::default();
+            let file_result = stream::process_pcap(
+                &bytes[..],
+                window,
+                MonitorConfig::default(),
+                analysis_cfg(threads),
+                |epoch| {
+                    file_released.conns.extend(epoch.conns);
+                    file_released.dns.extend(epoch.dns);
+                },
+            )
+            .expect("file stream run");
+            file_released.conns.extend(file_result.tail.conns);
+            file_released.dns.extend(file_result.tail.dns);
+
+            // Ring backend through the same seam.
+            let (mut ring, producer) = ring_source(1 << 16);
+            let mut ring_released = Logs::default();
+            let ring_result = stream::process_source(
+                &mut ring,
+                window,
+                MonitorConfig::default(),
+                analysis_cfg(threads),
+                |epoch| {
+                    ring_released.conns.extend(epoch.conns);
+                    ring_released.dns.extend(epoch.dns);
+                },
+            )
+            .expect("ring stream run");
+            ring_released.conns.extend(ring_result.tail.conns);
+            ring_released.dns.extend(ring_result.tail.dns);
+            producer.join().expect("producer thread");
+
+            let file_rendered = render_logs(&file_released);
+            assert_eq!(
+                file_rendered, batch_rendered,
+                "file stream rows (window {window:?}, threads {threads}) must equal batch"
+            );
+            assert_eq!(
+                render_logs(&ring_released),
+                file_rendered,
+                "ring stream rows (window {window:?}, threads {threads}) must equal file"
+            );
+            assert_eq!(
+                ring_result.class_counts, file_result.class_counts,
+                "class counts (window {window:?}, threads {threads}) must be backend-invariant"
+            );
+            assert_eq!(ring_result.class_counts, batch_counts);
+            assert_eq!(
+                ring_result.analysis_metrics.render_table(),
+                file_result.analysis_metrics.render_table(),
+                "analysis metrics (window {window:?}, threads {threads}) must be backend-invariant"
+            );
+            assert_eq!(
+                ring_result.stream_metrics.render_table(),
+                file_result.stream_metrics.render_table(),
+                "stream metrics (window {window:?}, threads {threads}) must be backend-invariant"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_capacity_does_not_leak_into_results() {
+    // The ring's capacity controls scheduling (how often the producer
+    // blocks), never content. Three very different capacities, one
+    // answer.
+    let mut rendered = Vec::new();
+    for capacity in [512usize, 8192, 1 << 20] {
+        let (mut ring, producer) = ring_source(capacity);
+        let logs =
+            Monitor::process_source(&mut ring, MonitorConfig::default()).expect("ring run");
+        let (_, produced, dropped) = producer.join().expect("producer thread");
+        assert_eq!(dropped, 0, "capacity {capacity}: Block policy never drops");
+        assert_eq!(produced, ring.consumed(), "capacity {capacity}: conservation after drain");
+        rendered.push(render_logs(&logs));
+    }
+    assert_eq!(rendered[0], rendered[1]);
+    assert_eq!(rendered[1], rendered[2]);
+}

@@ -1,16 +1,20 @@
 //! End-to-end counter invariants for the observability layer.
 //!
-//! Runs the full packet pipeline (simulate → pcap → monitor → analysis)
+//! Runs the full packet pipeline (simulate → ring → monitor → analysis)
 //! with every stage contributing to one merged [`Metrics`] snapshot, then
 //! checks the accounting identities that make the counters trustworthy:
 //! frames in balance against accepted + rejected, class counts partition
 //! the connection population, a clean run carries zero `fault.*` damage,
 //! and the snapshot is identical for 1/2/8 worker threads.
+//!
+//! The pipeline is fed through the in-memory ring `RecordSource` — the
+//! zero-serialization path — and one regression pin re-runs it through
+//! the classic pcap-bytes file backend and demands the same snapshot.
 
 use dnsctx::ccz_sim::{ScaleKnobs, Simulation, WorkloadConfig};
 use dnsctx::dns_context::{Analysis, AnalysisConfig};
 use dnsctx::obskit::Metrics;
-use dnsctx::pcapio::PcapReader;
+use dnsctx::pcapio::{self, Backpressure, RecordSource};
 use dnsctx::xkit::fault::{FaultConfig, FaultInjector, RawFrame};
 use dnsctx::xkit::rng::{SeedableRng, StdRng};
 use dnsctx::zeek_lite::{Monitor, MonitorConfig, Timestamp};
@@ -26,20 +30,45 @@ fn small_cfg() -> WorkloadConfig {
     }
 }
 
-/// The whole packet pipeline, instrumented: returns the merged snapshot.
+/// The whole packet pipeline, instrumented: simulator frames cross an
+/// in-memory ring into the monitor, and every stage's counters merge
+/// into the returned snapshot.
 fn pipeline_metrics(threads: usize) -> Metrics {
+    let sim = Simulation::new(small_cfg(), 9).unwrap().with_threads(threads);
+    let (mut tx, mut rx) = pcapio::ring::channel(1 << 18, 65_535, Backpressure::Block);
+    let producer = std::thread::spawn(move || {
+        let (_truth, _frames, m) = sim.run_ring(&mut tx);
+        m
+    });
+
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    while let Some(record) = rx.next().unwrap() {
+        monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
+    }
+    let mut m = producer.join().unwrap();
+    m.merge(&rx.metrics());
+    let logs = monitor.finish();
+    m.merge(&logs.metrics());
+
+    let mut acfg = AnalysisConfig::default();
+    acfg.threads = threads;
+    m.merge(&Analysis::run(&logs, acfg).metrics());
+    m
+}
+
+/// The same pipeline over the serialized file backend (pcap bytes in
+/// memory, pulled through the seam's file source).
+fn file_pipeline_metrics(threads: usize) -> Metrics {
     let sim = Simulation::new(small_cfg(), 9).unwrap().with_threads(threads);
     let mut pcap = Vec::new();
     let (_truth, _frames, mut m) = sim.run_pcap_observed(&mut pcap, 65_535).unwrap();
 
-    let reader = PcapReader::new(&pcap[..]).unwrap();
-    let mut records = reader.records();
+    let mut source = pcapio::source::file(&pcap[..]).unwrap();
     let mut monitor = Monitor::new(MonitorConfig::default());
-    for record in records.by_ref() {
-        let record = record.unwrap();
-        monitor.handle_frame(Timestamp(record.ts_nanos), &record.data, record.orig_len);
+    while let Some(record) = source.next().unwrap() {
+        monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
     }
-    m.merge(&records.reader().metrics());
+    m.merge(&source.metrics());
     let logs = monitor.finish();
     m.merge(&logs.metrics());
 
@@ -52,10 +81,13 @@ fn pipeline_metrics(threads: usize) -> Metrics {
 #[test]
 fn frame_accounting_balances() {
     let m = pipeline_metrics(1);
-    // Every frame the pcap reader produced reached the monitor...
+    // Every frame the ring delivered reached the monitor...
     assert!(m.counter("capture.frames_read") > 1_000);
     assert_eq!(m.counter("capture.frames_read"), m.counter("zeek.frames_seen"));
     assert_eq!(m.counter("capture.frames_rejected"), 0);
+    // ...and the ring shed nothing: what the simulator offered is what
+    // the reader consumed.
+    assert_eq!(m.counter("sim.frames_written"), m.counter("capture.frames_read"));
     // ...and each one was either accepted or rejected for a counted reason.
     assert_eq!(
         m.counter("zeek.frames_seen"),
@@ -114,6 +146,17 @@ fn snapshot_identical_across_thread_counts() {
     let c = pipeline_metrics(8);
     assert_eq!(a.to_json(), b.to_json(), "1 vs 2 threads");
     assert_eq!(a.to_json(), c.to_json(), "1 vs 8 threads");
+}
+
+/// Regression pin for the ingestion seam: swapping the ring for the
+/// serialized pcap file path may not move a single counter.
+#[test]
+fn snapshot_identical_across_backends() {
+    assert_eq!(
+        pipeline_metrics(1).to_json(),
+        file_pipeline_metrics(1).to_json(),
+        "ring vs file backend"
+    );
 }
 
 #[test]
