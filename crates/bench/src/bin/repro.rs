@@ -60,6 +60,8 @@ struct Opts {
     csv: bool,
     obs: bool,
     obs_out: String,
+    serve: String,
+    serve_check: bool,
     window_secs: f64,
     source: String,
     iface: String,
@@ -87,6 +89,8 @@ fn parse_args() -> Opts {
         csv: false,
         obs: false,
         obs_out: "OBS_repro.json".into(),
+        serve: String::new(),
+        serve_check: false,
         window_secs: 60.0,
         source: "file".into(),
         iface: "lo".into(),
@@ -109,6 +113,8 @@ fn parse_args() -> Opts {
             "--csv" => opts.csv = true,
             "--obs" => opts.obs = true,
             "--obs-out" => opts.obs_out = grab("--obs-out"),
+            "--serve" => opts.serve = grab("--serve"),
+            "--serve-check" => opts.serve_check = true,
             "--window-secs" => {
                 opts.window_secs = grab("--window-secs").parse().expect("window-secs")
             }
@@ -117,11 +123,14 @@ fn parse_args() -> Opts {
             "--frames" => opts.frames = grab("--frames").parse().expect("frames"),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--serve ADDR] [--serve-check] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
                      \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream ingest all\n\
                      obs-check <snapshot.json>: validate a snapshot written by `repro obs`\n\
+                     obs-check --url ADDR: validate the live endpoints of a running --serve instance\n\
                      stream: bounded-memory epoch pipeline (window set by --window-secs, 0 = unwindowed)\n\
+                     \x20       --serve ADDR exposes /metrics /snapshot /spans /events /healthz live during\n\
+                     \x20       the run (stream and ingest; --serve-check self-validates every endpoint)\n\
                      ingest: stream pipeline behind the RecordSource seam; --source picks the backend\n\
                      \x20       (file = pcap round trip, ring = in-memory SPSC ring, iface = AF_PACKET via\n\
                      \x20       --iface/--frames, needs the raw-socket build and CAP_NET_RAW)"
@@ -145,12 +154,14 @@ fn main() {
         obs(&opts);
         return;
     }
-    // `obs-check PATH` parses a snapshot back and checks its contract.
+    // `obs-check PATH` parses a snapshot back and checks its contract;
+    // `obs-check --url ADDR` does the same against a live server.
     if opts.experiments.first().map(String::as_str) == Some("obs-check") {
-        match opts.experiments.get(1) {
-            Some(path) => obs_check(path),
-            None => {
-                eprintln!("usage: repro obs-check <snapshot.json>");
+        match (opts.experiments.get(1).map(String::as_str), opts.experiments.get(2)) {
+            (Some("--url"), Some(addr)) => obs_check_url(addr),
+            (Some(path), _) if path != "--url" => obs_check(path),
+            _ => {
+                eprintln!("usage: repro obs-check <snapshot.json> | repro obs-check --url ADDR");
                 std::process::exit(2);
             }
         }
@@ -675,6 +686,115 @@ fn obs_check(path: &str) {
     );
 }
 
+/// Fetch every endpoint of a running observability server and check the
+/// DESIGN.md §13 contract: `/healthz` answers, `/snapshot` parses back
+/// through the in-tree JSON parser into a [`xkit::obs::Metrics`],
+/// `/metrics` is exactly the Prometheus rendering of that same snapshot,
+/// `/spans` is a Chrome trace-event array (`ph:"X"`, numeric `ts`/`dur`
+/// in microseconds), and `/events` is a well-formed flight-recorder dump.
+fn check_live_endpoints(addr: &str) -> Result<(), String> {
+    use xkit::obs::{http, json, Metrics};
+    let fetch = |path: &str| -> Result<String, String> {
+        let (status, body) = http::get(addr, path).map_err(|e| format!("GET {path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {path}: status {status}"));
+        }
+        Ok(body)
+    };
+
+    let health = fetch("/healthz")?;
+    if health != "ok\n" {
+        return Err(format!("/healthz body {health:?}"));
+    }
+
+    let snapshot = fetch("/snapshot")?;
+    let v = json::parse(&snapshot).map_err(|e| format!("/snapshot: {e}"))?;
+    let parsed = Metrics::from_json_value(&v).map_err(|e| format!("/snapshot: {e}"))?;
+
+    // The hub publishes whole snapshots atomically, so between two
+    // scrapes of a settled run these must agree byte for byte.
+    let prom = fetch("/metrics")?;
+    if prom != parsed.to_prometheus("dnsctx") {
+        return Err("/metrics is not the Prometheus rendering of /snapshot".into());
+    }
+
+    let spans = fetch("/spans")?;
+    let sv = json::parse(&spans).map_err(|e| format!("/spans: {e}"))?;
+    let trace = sv.as_arr().ok_or("/spans: not an array")?;
+    for ev in trace {
+        if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            return Err("/spans: event without ph=\"X\"".into());
+        }
+        for key in ["ts", "dur"] {
+            if ev.get(key).and_then(|t| t.as_f64()).is_none() {
+                return Err(format!("/spans: event missing numeric {key}"));
+            }
+        }
+    }
+
+    let flight = fetch("/events")?;
+    let fv = json::parse(&flight).map_err(|e| format!("/events: {e}"))?;
+    for key in ["capacity", "recorded", "dropped"] {
+        if fv.get(key).and_then(|n| n.as_f64()).is_none() {
+            return Err(format!("/events: missing {key}"));
+        }
+    }
+    if fv.get("events").and_then(|e| e.as_arr()).is_none() {
+        return Err("/events: missing events array".into());
+    }
+    Ok(())
+}
+
+/// `obs-check --url ADDR`: the live-server spelling of the snapshot
+/// contract check.
+fn obs_check_url(addr: &str) {
+    match check_live_endpoints(addr) {
+        Ok(()) => println!("obs-check OK: live endpoints on {addr}"),
+        Err(e) => {
+            eprintln!("obs-check: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Start the live observability plane when `--serve ADDR` was given:
+/// returns the hub the pipeline publishes into plus the running server.
+/// The server answers from its first instant (empty-but-valid snapshot)
+/// and shuts down when the returned guard drops.
+fn start_serving(
+    opts: &Opts,
+    who: &str,
+) -> (Option<xkit::obs::ObsHub>, Option<xkit::obs::http::ObsServer>) {
+    if opts.serve.is_empty() {
+        return (None, None);
+    }
+    let hub = xkit::obs::ObsHub::default();
+    let server = xkit::obs::http::serve(&opts.serve, "dnsctx", hub.clone())
+        .expect("bind observability server");
+    eprintln!(
+        "# {who}: serving /metrics /snapshot /spans /events /healthz on http://{}",
+        server.addr()
+    );
+    (Some(hub), Some(server))
+}
+
+/// Run the `--serve-check` self-validation against our own server, then
+/// shut it down. Exits non-zero on any contract violation.
+fn finish_serving(opts: &Opts, who: &str, server: Option<xkit::obs::http::ObsServer>) {
+    let Some(mut server) = server else { return };
+    if opts.serve_check {
+        let addr = server.addr().to_string();
+        match check_live_endpoints(&addr) {
+            Ok(()) => eprintln!("# {who}: serve-check OK on {addr}"),
+            Err(e) => {
+                eprintln!("# {who}: serve-check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    server.shutdown();
+}
+
 fn obs(opts: &Opts) {
     use dnsctx::dns_context::classify::{classify_parallel, count_classes, resolver_thresholds};
     use dnsctx::dns_context::perf::PerfAnalysis;
@@ -839,6 +959,7 @@ fn stream(opts: &Opts) {
     );
     let mut spans = SpanLog::new();
     let mut metrics = Metrics::new();
+    let (hub, server) = start_serving(opts, "stream");
 
     // stage.capture: simulate the trace and render it to pcap bytes.
     let s = spans.start("stage.capture");
@@ -863,12 +984,14 @@ fn stream(opts: &Opts) {
     // One pass through the ingestion seam: `process_source` owns the
     // epoch windowing (same boundary semantics as `pcapio::Epochs`); the
     // sink replays each epoch's released DNS rows through the cache
-    // model and drops them.
-    let result = stream::process_source(
+    // model and drops them. With `--serve`, every epoch boundary also
+    // publishes a prefix snapshot to the hub.
+    let result = stream::process_source_observed(
         &mut source,
         window,
         MonitorConfig::default(),
         opts.analysis_cfg(),
+        hub.as_ref(),
         |out| {
             for txn in &out.dns {
                 replay.offer(txn);
@@ -915,6 +1038,14 @@ fn stream(opts: &Opts) {
             "finite window must bound live state below the full-trace totals"
         );
     }
+
+    // The settled snapshot: after this, `/snapshot` matches the stdout
+    // document's metrics section and `/spans` carries the Chrome trace.
+    if let Some(hub) = &hub {
+        hub.publish_metrics(metrics.clone());
+        hub.publish_spans(spans.to_chrome_trace());
+    }
+    finish_serving(opts, "stream", server);
 
     let json = format!(
         "{{\"meta\":{{\"experiment\":\"stream\",\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{},\"window_secs\":{}}},\"metrics\":{},\"spans\":{}}}",
@@ -965,6 +1096,7 @@ fn ingest(opts: &Opts) {
     let mut metrics = Metrics::new();
     let mut replay = cache_sim::CacheReplay::new(Duration::from_secs(60));
     let monitor_cfg = MonitorConfig::default();
+    let (hub, server) = start_serving(opts, "ingest");
 
     // Every backend funnels into the same `process_source` call; only the
     // way records arrive differs. The sink closure replays released DNS
@@ -979,11 +1111,12 @@ fn ingest(opts: &Opts) {
                 sim.run_pcap_observed(&mut pcap, 65_535).expect("in-memory pcap");
             metrics.merge(&sim_metrics);
             let mut source = pcapio::source::file(&pcap[..]).expect("pcap header");
-            let result = stream::process_source(
+            let result = stream::process_source_observed(
                 &mut source,
                 window,
                 monitor_cfg,
                 opts.analysis_cfg(),
+                hub.as_ref(),
                 |out| {
                     for txn in &out.dns {
                         replay.offer(txn);
@@ -1000,6 +1133,11 @@ fn ingest(opts: &Opts) {
                 .with_threads(opts.threads);
             let (mut tx, mut rx) =
                 pcapio::ring::channel(1 << 20, 65_535, pcapio::Backpressure::Block);
+            // Producer-side stalls land in the same flight ring the
+            // consumer serves, so `/events` shows backpressure live.
+            if let Some(hub) = &hub {
+                tx.set_flight(hub.flight().clone());
+            }
             // The producer owns the sink; dropping it at the end of the
             // closure closes the ring and the consumer sees EOF. Block
             // policy means nothing drops, so the consumed sequence equals
@@ -1009,11 +1147,12 @@ fn ingest(opts: &Opts) {
                 let (_truth, _frames, sim_metrics) = sim.run_ring(&mut tx);
                 sim_metrics
             });
-            let result = stream::process_source(
+            let result = stream::process_source_observed(
                 &mut rx,
                 window,
                 monitor_cfg,
                 opts.analysis_cfg(),
+                hub.as_ref(),
                 |out| {
                     for txn in &out.dns {
                         replay.offer(txn);
@@ -1035,11 +1174,12 @@ fn ingest(opts: &Opts) {
                         std::process::exit(2);
                     }
                 };
-                let result = stream::process_source(
+                let result = stream::process_source_observed(
                     &mut source,
                     window,
                     monitor_cfg,
                     opts.analysis_cfg(),
+                    hub.as_ref(),
                     |out| {
                         for txn in &out.dns {
                             replay.offer(txn);
@@ -1082,6 +1222,13 @@ fn ingest(opts: &Opts) {
         count(metrics.counter("zeek.conn_rows") as usize),
         count(metrics.counter("zeek.dns_rows") as usize),
     );
+
+    // Settle the live plane: `/snapshot` now matches the stdout metrics
+    // section exactly. `ingest` has no spans, so `/spans` stays `[]`.
+    if let Some(hub) = &hub {
+        hub.publish_metrics(metrics.clone());
+    }
+    finish_serving(opts, "ingest", server);
 
     let json = format!(
         "{{\"meta\":{{\"experiment\":\"ingest\",\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{},\"window_secs\":{}}},\"metrics\":{}}}",

@@ -188,6 +188,10 @@ pub struct StreamEngine {
     evicted_flows: u64,
     peak_live_flows: u64,
     peak_live_answers: u64,
+    /// Live observability plane, when attached: prefix snapshots publish
+    /// here at every epoch boundary and notable moments hit its flight
+    /// recorder. `None` costs nothing on the frame path.
+    hub: Option<xkit::obs::ObsHub>,
 }
 
 impl StreamEngine {
@@ -224,7 +228,49 @@ impl StreamEngine {
             evicted_flows: 0,
             peak_live_flows: 0,
             peak_live_answers: 0,
+            hub: None,
         }
+    }
+
+    /// Attach a live observability hub: the embedded monitor feeds the
+    /// hub's flight recorder (`fault.reject`/`parse.degrade`), the engine
+    /// records `epoch.release`/`state.evict` events, and every epoch
+    /// boundary publishes a snapshot that is a valid prefix of the final
+    /// metrics (all counters monotone; finish-only keys — the settled
+    /// SC/R split and per-resolver thresholds — stay absent mid-run).
+    pub fn set_hub(&mut self, hub: xkit::obs::ObsHub) {
+        self.monitor.set_flight(hub.flight().clone());
+        self.hub = Some(hub);
+    }
+
+    /// Fold current state into the hub (no-op without one). Published
+    /// counters are the already-folded accumulators, so a scrape between
+    /// two epochs never exceeds the final value of any counter and the
+    /// degradation identities hold at every instant; the `stream.live_*`
+    /// and `stream.w_*` gauges are point-in-time readings.
+    fn publish_live(&self, w_conn: Timestamp, w_dns: Timestamp) {
+        let Some(hub) = &self.hub else { return };
+        let mut m = self.monitor.live_metrics();
+        m.add("zeek.conn_rows", self.released_conns);
+        m.add("zeek.dns_rows", self.released_dns);
+        m.add("zeek.app_conns", self.released_app);
+        m.merge(&self.acc);
+        m.add("cover.app_conns", self.released_app);
+        m.add("cover.paired", self.paired);
+        m.add("class.no_dns", self.class_no_dns);
+        m.add("class.local_cache", self.class_local_cache);
+        m.add("class.prefetched", self.class_prefetched);
+        m.add("stream.epochs", self.epochs);
+        m.add("stream.evicted_answers", self.evicted_answers);
+        m.add("stream.evicted_flows", self.evicted_flows);
+        m.gauge_max("stream.peak_live_flows", self.peak_live_flows as f64);
+        m.gauge_max("stream.peak_live_answers", self.peak_live_answers as f64);
+        let (flows, answers) = self.live_state();
+        m.gauge_max("stream.live_flows", flows as f64);
+        m.gauge_max("stream.live_answers", answers as f64);
+        m.gauge_max("stream.w_conn_s", w_conn.0 as f64 / 1e9);
+        m.gauge_max("stream.w_dns_s", w_dns.0 as f64 / 1e9);
+        hub.publish_metrics(m);
     }
 
     /// Feed one captured frame to the embedded monitor.
@@ -256,7 +302,9 @@ impl StreamEngine {
 
         let cap = boundary.unwrap_or(Timestamp::ZERO);
         if boundary.is_none() {
-            // Unwindowed: nothing is safe to release before end of input.
+            // Unwindowed: nothing is safe to release before end of input,
+            // but the live plane still sees the folded counters.
+            self.publish_live(Timestamp::ZERO, Timestamp::ZERO);
             return EpochOutput::default();
         }
         let w_dns = self.monitor.oldest_pending_dns_ts().map_or(cap, |t| t.min(cap));
@@ -264,9 +312,31 @@ impl StreamEngine {
         // The invariant w_conn <= w_dns holds for monotone input (module
         // docs); the clamp keeps disordered input conservative.
         let w_conn = w_conn.min(w_dns);
+        let evicted_before = self.evicted_answers;
         let out = self.release(w_conn, w_dns);
         self.evicted_flows += out.conns.len() as u64;
         self.evict(w_conn);
+        if let Some(hub) = &self.hub {
+            hub.flight().record(
+                "epoch.release",
+                format!(
+                    "epoch {}: {} conn + {} dns rows",
+                    self.epochs,
+                    out.conns.len(),
+                    out.dns.len()
+                ),
+                (out.conns.len() + out.dns.len()) as f64,
+            );
+            let evicted = self.evicted_answers - evicted_before;
+            if evicted > 0 {
+                hub.flight().record(
+                    "state.evict",
+                    format!("epoch {}: index entries dropped", self.epochs),
+                    evicted as f64,
+                );
+            }
+        }
+        self.publish_live(w_conn, w_dns);
         out
     }
 
@@ -338,6 +408,14 @@ impl StreamEngine {
         s.add("stream.evicted_flows", self.evicted_flows);
         s.gauge_max("stream.peak_live_flows", self.peak_live_flows as f64);
         s.gauge_max("stream.peak_live_answers", self.peak_live_answers as f64);
+
+        // The last published snapshot is the settled one: every mid-run
+        // scrape was a prefix of it.
+        if let Some(hub) = &self.hub {
+            let mut all = m.clone();
+            all.merge(&s);
+            hub.publish_metrics(all);
+        }
 
         StreamResult {
             tail,
@@ -570,9 +648,27 @@ pub fn process_source<S: pcapio::RecordSource + ?Sized>(
     window: Duration,
     monitor: MonitorConfig,
     cfg: AnalysisConfig,
+    sink: impl FnMut(EpochOutput),
+) -> Result<StreamResult, pcapio::PcapError> {
+    process_source_observed(source, window, monitor, cfg, None, sink)
+}
+
+/// [`process_source`] with an optional live observability hub attached to
+/// the engine (see [`StreamEngine::set_hub`]): every epoch boundary
+/// publishes a prefix snapshot and feeds the hub's flight recorder, so an
+/// HTTP scrape at any instant sees internally consistent counters.
+pub fn process_source_observed<S: pcapio::RecordSource + ?Sized>(
+    source: &mut S,
+    window: Duration,
+    monitor: MonitorConfig,
+    cfg: AnalysisConfig,
+    hub: Option<&xkit::obs::ObsHub>,
     mut sink: impl FnMut(EpochOutput),
 ) -> Result<StreamResult, pcapio::PcapError> {
     let mut engine = StreamEngine::new(monitor, cfg);
+    if let Some(hub) = hub {
+        engine.set_hub(hub.clone());
+    }
     let window_nanos = window.nanos();
     // Inline epoch windowing over the source's borrowed records (the
     // frames feed the engine immediately, so nothing needs to be owned).
@@ -762,6 +858,46 @@ mod tests {
         assert_eq!(result.tail.conns.len(), 1);
         assert_eq!(result.tail.dns.len(), 1);
         assert_eq!(result.stream_metrics.counter("stream.epochs"), 1);
+    }
+
+    #[test]
+    fn hub_sees_prefix_snapshots_and_flight_events() {
+        let mut cfg = AnalysisConfig::default();
+        cfg.threshold_rule.min_lookups = 1;
+        cfg.threads = 1;
+        let hub = xkit::obs::ObsHub::default();
+        let mut engine = StreamEngine::new(MonitorConfig::default(), cfg);
+        engine.set_hub(hub.clone());
+        engine.buf_dns = vec![txn(1_000, 1, 1), txn(2_000, 2, 1)];
+        engine.buf_conns = vec![conn(500_000, 1)];
+
+        engine.end_epoch(Some(Timestamp::from_millis(100_000)));
+        let mid = hub.metrics();
+        assert_eq!(mid.counter("stream.epochs"), 1);
+        assert_eq!(mid.counter("zeek.dns_rows"), 2);
+        // Mid-run snapshots never carry finish-only keys.
+        assert_eq!(mid.counter("class.shared_cache"), 0);
+
+        engine.end_epoch(Some(Timestamp::from_millis(400_000)));
+        let result = engine.finish();
+        let fin = hub.metrics();
+        // The finish-time publication is the settled snapshot, and every
+        // mid-run counter is bounded by its final value.
+        assert_eq!(fin.to_json(), {
+            let mut all = result.analysis_metrics.clone();
+            all.merge(&result.stream_metrics);
+            all.to_json()
+        });
+        for (name, v) in [("stream.epochs", 1), ("zeek.dns_rows", 2)] {
+            assert!(mid.counter(name) >= v && mid.counter(name) <= fin.counter(name));
+        }
+
+        let events = hub.flight().snapshot();
+        assert!(events.iter().any(|e| e.kind == "epoch.release"));
+        assert!(
+            events.iter().any(|e| e.kind == "state.evict" && e.value == 1.0),
+            "the older expired entry's eviction must hit the flight ring"
+        );
     }
 
     #[test]

@@ -36,10 +36,11 @@ pub mod obskit {
     //! `fault.*` (injected damage), `stage.*` (span timers).
 
     pub use xkit::obs::clock;
+    pub use xkit::obs::http;
     pub use xkit::obs::json;
     pub use xkit::obs::{
-        Counter, Gauge, HistSpec, Histogram, HistogramHandle, Metric, Metrics, Registry, SpanId,
-        SpanLog, SpanRecord,
+        Counter, FlightEvent, FlightRecorder, Gauge, HistSpec, Histogram, HistogramHandle,
+        Metric, Metrics, ObsHub, Registry, SpanId, SpanLog, SpanRecord,
     };
 
     /// One snapshot for a whole [`Study`](crate::pipeline::Study): the

@@ -142,7 +142,7 @@ pub fn channel(capacity: usize, snaplen: u32, policy: Backpressure) -> (RingSink
         space: Condvar::new(),
         data: Condvar::new(),
     });
-    let sink = RingSink { shared: Arc::clone(&shared), policy, snaplen };
+    let sink = RingSink { shared: Arc::clone(&shared), policy, snaplen, flight: None };
     let source = RingSource {
         shared,
         buf: Vec::new(),
@@ -161,12 +161,21 @@ pub struct RingSink {
     shared: Arc<Shared>,
     policy: Backpressure,
     snaplen: u32,
+    flight: Option<xkit::obs::FlightRecorder>,
 }
 
 impl RingSink {
     /// The snaplen every stored record is truncated to.
     pub fn snaplen(&self) -> u32 {
         self.snaplen
+    }
+
+    /// Attach a flight recorder; each producer park episode (a full ring
+    /// under [`Backpressure::Block`]) records one `backpressure.stall`
+    /// event. Recording happens on the already-parked path only, so the
+    /// uncontended push stays recorder-free.
+    pub fn set_flight(&mut self, flight: xkit::obs::FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// Offer one record without blocking. Counters move only on
@@ -216,6 +225,13 @@ impl RingSink {
                 PushOutcome::WouldBlock => {
                     let stored = data.len().min(self.snaplen as usize);
                     let needed = FRAME_HEADER_LEN + stored;
+                    if let Some(flight) = &self.flight {
+                        flight.record(
+                            "backpressure.stall",
+                            format!("ring full, need {needed} B"),
+                            needed as f64,
+                        );
+                    }
                     let mut st = self.shared.lock();
                     while st.free() < needed && !st.rx_closed {
                         st = self.shared.space.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -387,6 +403,28 @@ mod tests {
         assert_eq!((r.ts_nanos, r.orig_len, r.data), (5, 9, &b"abc"[..]));
         let m = RecordSource::metrics(&rx);
         assert_eq!(m.counter("capture.bytes_read"), 3);
+    }
+
+    #[test]
+    fn blocked_producer_records_stall_events() {
+        // Frame = 16-byte header + 16 bytes payload = 32 B; a 40 B ring
+        // holds one frame, so the second push must park.
+        let (mut tx, mut rx) = channel(40, 65_535, Backpressure::Block);
+        let flight = xkit::obs::FlightRecorder::new(8);
+        tx.set_flight(flight.clone());
+        assert!(tx.push(1, 16, &[0u8; 16]));
+        let producer = std::thread::spawn(move || tx.push(2, 16, &[0u8; 16]));
+        // The stall event is recorded before the producer parks, so
+        // waiting for it keeps the schedule deterministic.
+        while flight.is_empty() {
+            std::thread::yield_now();
+        }
+        assert_eq!(rx.next().unwrap().unwrap().ts_nanos, 1);
+        assert!(producer.join().unwrap_or(false));
+        assert_eq!(rx.next().unwrap().unwrap().ts_nanos, 2);
+        let events = flight.snapshot();
+        assert_eq!(events[0].kind, "backpressure.stall");
+        assert_eq!(events[0].value, 32.0);
     }
 
     #[test]

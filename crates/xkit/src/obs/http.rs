@@ -1,0 +1,305 @@
+//! A zero-dependency HTTP/1.1 observability endpoint.
+//!
+//! Just enough HTTP to scrape a live run: a blocking accept loop on one
+//! dedicated thread, connections served sequentially (concurrency is
+//! bounded at 1 by construction — an observability plane, not a web
+//! server), per-socket read/write timeouts so a stalled client can
+//! never wedge the exporter. This module and `pcapio::raw` are the only
+//! places in the workspace allowed to touch sockets;
+//! `scripts/verify.sh` fences `TcpListener`/`TcpStream`/`UdpSocket`
+//! everywhere else.
+//!
+//! Endpoints (all `GET`):
+//!
+//! | path        | body                                                  |
+//! |-------------|-------------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition of the hub snapshot        |
+//! | `/snapshot` | canonical metrics JSON ([`Metrics::to_json`])         |
+//! | `/spans`    | Chrome trace-event JSON (`SpanLog::to_chrome_trace`)  |
+//! | `/events`   | flight-recorder dump ([`FlightRecorder::to_json`])    |
+//! | `/healthz`  | `ok`                                                  |
+//!
+//! [`Metrics::to_json`]: crate::obs::Metrics::to_json
+//! [`FlightRecorder::to_json`]: crate::obs::FlightRecorder::to_json
+
+use super::hub::ObsHub;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-socket read/write timeout: a scraper that stalls longer than
+/// this is dropped so the accept loop keeps serving.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head we accept before answering 400.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running observability server; dropping it (or calling
+/// [`shutdown`](ObsServer::shutdown)) stops the accept loop and joins
+/// the serving thread.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// The bound address (useful with `127.0.0.1:0` ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock the accept loop, and join the thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9090`, or port `0` for ephemeral) and
+/// serve the hub's current state until the returned server is dropped.
+/// `namespace` prefixes every Prometheus metric name.
+pub fn serve(addr: &str, namespace: &str, hub: ObsHub) -> io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let namespace = namespace.to_string();
+    let handle = std::thread::Builder::new()
+        .name("obs-http".into())
+        .spawn(move || accept_loop(listener, &thread_stop, &namespace, &hub))?;
+    Ok(ObsServer { addr, stop, handle: Some(handle) })
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, namespace: &str, hub: &ObsHub) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // One connection at a time; a broken client costs at most the
+        // I/O timeout, never the exporter.
+        let _ = serve_one(stream, namespace, hub);
+    }
+}
+
+/// Read one request, write one response, close.
+fn serve_one(mut stream: TcpStream, namespace: &str, hub: &ObsHub) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = read_head(&mut stream)?;
+    let (status, content_type, body) = match parse_request_line(&head) {
+        None => (400, "text/plain; charset=utf-8", "bad request\n".to_string()),
+        Some((method, _)) if method != "GET" => {
+            (405, "text/plain; charset=utf-8", "method not allowed\n".to_string())
+        }
+        Some((_, path)) => route(&path, namespace, hub),
+    };
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Dispatch a path to its body. Query strings are ignored.
+fn route(path: &str, namespace: &str, hub: &ObsHub) -> (u16, &'static str, String) {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => (200, "text/plain; version=0.0.4; charset=utf-8", hub.metrics().to_prometheus(namespace)),
+        "/snapshot" => (200, "application/json", hub.metrics().to_json()),
+        "/spans" => (200, "application/json", hub.spans_json()),
+        "/events" => (200, "application/json", hub.flight().to_json()),
+        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+/// Read until the blank line ending the request head (or the size cap).
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `GET /path HTTP/1.1` → `("GET", "/path")`.
+fn parse_request_line(head: &str) -> Option<(String, String)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some((method, path))
+}
+
+/// Minimal blocking GET against a served endpoint: returns the status
+/// code and body. This is the self-scrape client `repro --serve-check`
+/// and `repro obs-check --url` use, so validation traffic stays inside
+/// this module's socket fence.
+pub fn get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(idx) => text[idx + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::Metrics;
+
+    fn test_hub() -> ObsHub {
+        let hub = ObsHub::new(8);
+        let mut m = Metrics::new();
+        m.add("zeek.frames_seen", 42);
+        m.gauge_max("stream.live_flows", 7.0);
+        hub.publish_metrics(m);
+        hub.publish_spans(
+            "[{\"name\":\"stage.zeek\",\"ph\":\"X\",\"ts\":0,\"dur\":1.5,\"pid\":1,\"tid\":1}]"
+                .into(),
+        );
+        hub.flight().record("epoch.release", "epoch 0", 3.0);
+        hub
+    }
+
+    #[test]
+    fn all_endpoints_respond() {
+        let mut server = serve("127.0.0.1:0", "dnsctx", test_hub()).expect("bind");
+        let addr = server.addr().to_string();
+
+        let (status, body) = get(&addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE dnsctx_zeek_frames_seen counter"));
+        assert!(body.contains("dnsctx_zeek_frames_seen 42"));
+
+        let (status, body) = get(&addr, "/snapshot").unwrap();
+        assert_eq!(status, 200);
+        let v = crate::obs::json::parse(&body).expect("snapshot is valid JSON");
+        assert_eq!(v.get("zeek.frames_seen").and_then(|x| x.as_f64()), Some(42.0));
+
+        let (status, body) = get(&addr, "/spans").unwrap();
+        assert_eq!(status, 200);
+        let v = crate::obs::json::parse(&body).expect("spans are valid JSON");
+        let spans = v.as_arr().expect("trace-event array");
+        assert_eq!(spans[0].get("ph").and_then(|x| x.as_str()), Some("X"));
+
+        let (status, body) = get(&addr, "/events").unwrap();
+        assert_eq!(status, 200);
+        let v = crate::obs::json::parse(&body).expect("events are valid JSON");
+        assert_eq!(v.get("recorded").and_then(|x| x.as_f64()), Some(1.0));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let mut server = serve("127.0.0.1:0", "ns", ObsHub::new(1)).expect("bind");
+        let addr = server.addr().to_string();
+        let (status, _) = get(&addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        // Hand-rolled POST: the tiny client only speaks GET.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"), "got: {text}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_updates_published_after_start() {
+        let hub = ObsHub::new(1);
+        let mut server = serve("127.0.0.1:0", "ns", hub.clone()).expect("bind");
+        let addr = server.addr().to_string();
+        let (_, body) = get(&addr, "/snapshot").unwrap();
+        assert_eq!(body, "{\n}");
+        let mut m = Metrics::new();
+        m.add("late", 1);
+        hub.publish_metrics(m);
+        let (_, body) = get(&addr, "/snapshot").unwrap();
+        assert!(body.contains("\"late\": 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut server = serve("127.0.0.1:0", "ns", ObsHub::new(1)).expect("bind");
+        server.shutdown();
+        server.shutdown();
+        drop(server); // second path through Drop::drop
+    }
+}

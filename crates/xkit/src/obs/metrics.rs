@@ -270,6 +270,66 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Conservative quantile estimate (`q` in `[0, 1]`): the **upper
+    /// edge** of the bucket holding rank `round(q * (count - 1))`;
+    /// `None` when empty. Underflow ranks resolve to the first bucket
+    /// edge (every underflow value is below it), overflow ranks to the
+    /// exact `max`. The estimate never understates the true quantile by
+    /// construction — the pinned contract for `p50<=`/`p95<=`/`p99<=`
+    /// table columns and the Prometheus `_q` lines.
+    pub fn quantile_upper(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = self.underflow;
+        if rank < seen {
+            return Some(self.bounds[0]);
+        }
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if rank < seen {
+                return Some(self.bounds[i + 1]);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Rebuild a histogram from exported parts (the inverse of the
+    /// [`Metrics::to_json`] `hist` object). `count` is recomputed as
+    /// `underflow + overflow + Σ counts`; `min`/`max` are required
+    /// whenever that count is positive.
+    pub fn from_parts(
+        spec: HistSpec,
+        counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        nonfinite: u64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new(spec);
+        if counts.len() != h.counts.len() {
+            return Err(format!(
+                "histogram has {} buckets, spec wants {}",
+                counts.len(),
+                h.counts.len()
+            ));
+        }
+        h.count = counts
+            .iter()
+            .fold(underflow.saturating_add(overflow), |acc, n| acc.saturating_add(*n));
+        h.counts = counts;
+        h.underflow = underflow;
+        h.overflow = overflow;
+        h.nonfinite = nonfinite;
+        if h.count > 0 {
+            h.min = min.ok_or("non-empty histogram missing min")?;
+            h.max = max.ok_or("non-empty histogram missing max")?;
+        }
+        Ok(h)
+    }
+
     /// Estimated sum of recorded values (bucket geometric midpoints;
     /// under/overflow contribute `min`/`max`). Export-time convenience
     /// only — never merged, so it cannot perturb determinism.
@@ -530,11 +590,18 @@ impl Metrics {
             let value = match metric {
                 Metric::Counter(c) => c.to_string(),
                 Metric::Gauge(g) => format!("{g} (gauge)"),
-                Metric::Hist(h) => match (h.min(), h.max(), h.quantile(0.5), h.quantile(0.95)) {
-                    (Some(min), Some(max), Some(p50), Some(p95)) => format!(
-                        "n={} min={min:.3} p50~{p50:.3} p95~{p95:.3} max={max:.3}",
-                        h.count()
-                    ),
+                Metric::Hist(h) => match (h.min(), h.max()) {
+                    (Some(min), Some(max)) => {
+                        let (p50, p95, p99) = (
+                            h.quantile_upper(0.5).unwrap_or(max),
+                            h.quantile_upper(0.95).unwrap_or(max),
+                            h.quantile_upper(0.99).unwrap_or(max),
+                        );
+                        format!(
+                            "n={} min={min:.3} p50<={p50:.3} p95<={p95:.3} p99<={p99:.3} max={max:.3}",
+                            h.count()
+                        )
+                    }
                     _ => format!("n=0 (+{} nonfinite)", h.nonfinite()),
                 },
             };
@@ -577,10 +644,90 @@ impl Metrics {
                     out.push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {cum}\n"));
                     out.push_str(&format!("{full}_sum {}\n", h.sum_estimate()));
                     out.push_str(&format!("{full}_count {}\n", h.count));
+                    // Summary-style quantile estimates (bucket upper
+                    // bounds), emitted as a sibling gauge family so the
+                    // histogram TYPE above stays well-formed.
+                    if h.count > 0 {
+                        out.push_str(&format!("# TYPE {full}_q gauge\n"));
+                        for q in [0.5, 0.95, 0.99] {
+                            if let Some(v) = h.quantile_upper(q) {
+                                out.push_str(&format!("{full}_q{{quantile=\"{q}\"}} {v}\n"));
+                            }
+                        }
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Rebuild a snapshot from parsed [`to_json`](Metrics::to_json)
+    /// output. Lossless for counters below 2^53 (JSON numbers are f64)
+    /// and for everything else exactly — `to_json` writes shortest
+    /// round-trip floats — so
+    /// `from_json_value(&parse(&m.to_json())?)? == m`. This is how
+    /// `repro obs-check` verifies a scraped `/snapshot` against the
+    /// `/metrics` exposition.
+    pub fn from_json_value(v: &crate::obs::json::Value) -> Result<Metrics, String> {
+        use crate::obs::json::Value;
+        let as_f64 = |v: &Value| match v {
+            Value::Num(n) => Some(*n),
+            // `to_json` writes non-finite floats as null.
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        };
+        let as_u64 = |name: &str, v: Option<&Value>, what: &str| -> Result<u64, String> {
+            let n = v
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("metric {name}: missing {what}"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("metric {name}: {what} is not a u64 ({n})"));
+            }
+            Ok(n as u64)
+        };
+        let members = v.as_obj().ok_or("metrics document must be a JSON object")?;
+        let mut out = Metrics::new();
+        for (name, val) in members {
+            let metric = match val {
+                Value::Num(_) => Metric::Counter(as_u64(name, Some(val), "counter")?),
+                Value::Obj(_) => {
+                    if let Some(g) = val.get("gauge") {
+                        let g = as_f64(g)
+                            .ok_or_else(|| format!("metric {name}: gauge is not numeric"))?;
+                        Metric::Gauge(g)
+                    } else if let Some(h) = val.get("hist") {
+                        let spec = HistSpec::log(
+                            h.get("lo").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                            as_u64(name, h.get("decades"), "decades")? as u32,
+                            as_u64(name, h.get("per_decade"), "per_decade")? as u32,
+                        );
+                        let counts = h
+                            .get("counts")
+                            .and_then(Value::as_arr)
+                            .ok_or_else(|| format!("metric {name}: missing counts"))?
+                            .iter()
+                            .map(|c| as_u64(name, Some(c), "bucket count"))
+                            .collect::<Result<Vec<u64>, String>>()?;
+                        let hist = Histogram::from_parts(
+                            spec,
+                            counts,
+                            as_u64(name, h.get("underflow"), "underflow")?,
+                            as_u64(name, h.get("overflow"), "overflow")?,
+                            as_u64(name, h.get("nonfinite"), "nonfinite")?,
+                            h.get("min").and_then(Value::as_f64),
+                            h.get("max").and_then(Value::as_f64),
+                        )
+                        .map_err(|e| format!("metric {name}: {e}"))?;
+                        Metric::Hist(hist)
+                    } else {
+                        return Err(format!("metric {name}: unknown object shape"));
+                    }
+                }
+                _ => return Err(format!("metric {name}: unsupported value kind")),
+            };
+            out.map.insert(name.clone(), metric);
+        }
+        Ok(out)
     }
 }
 
@@ -695,6 +842,88 @@ mod tests {
         let sum = h.sum_estimate();
         assert!((500.0..=2000.0).contains(&sum), "sum {sum} near 1000");
         assert_eq!(Histogram::new(HistSpec::time_ms()).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_upper_pins_bucket_upper_bounds() {
+        // 10.0 sits exactly on a decade edge of time_ms (1e-3 * 10^4,
+        // edge index 16), so every sample lands in bucket 16 and the
+        // upper-bound estimate is exactly edge 17 — no tolerance needed.
+        let mut h = Histogram::new(HistSpec::time_ms());
+        for _ in 0..100 {
+            h.observe(10.0);
+        }
+        let bounds = h.bounds().to_vec();
+        assert_eq!(h.quantile_upper(0.5), Some(bounds[17]));
+        assert_eq!(h.quantile_upper(0.95), Some(bounds[17]));
+        assert_eq!(h.quantile_upper(0.99), Some(bounds[17]));
+        assert!(h.quantile_upper(0.5).unwrap() >= 10.0, "never understates");
+
+        // Underflow ranks resolve to the first edge, overflow to max.
+        let mut u = Histogram::new(HistSpec::time_ms());
+        u.observe(1e-9);
+        assert_eq!(u.quantile_upper(0.0), Some(u.bounds()[0]));
+        let mut o = Histogram::new(HistSpec::time_ms());
+        o.observe(5e9);
+        assert_eq!(o.quantile_upper(1.0), Some(5e9));
+
+        // Rank selection across buckets: 90 low + 10 high samples.
+        let mut m = Histogram::new(HistSpec::time_ms());
+        m.observe_n(1.0, 90); // edge 12 (1e-3 * 10^3) → bucket 12
+        m.observe_n(100.0, 10); // edge 20 → bucket 20
+        assert_eq!(m.quantile_upper(0.5), Some(m.bounds()[13]));
+        assert_eq!(m.quantile_upper(0.95), Some(m.bounds()[21]));
+        assert_eq!(Histogram::new(HistSpec::time_ms()).quantile_upper(0.5), None);
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let h = filled(9, 400);
+        let rebuilt = Histogram::from_parts(
+            h.spec(),
+            h.bucket_counts().to_vec(),
+            h.underflow(),
+            h.overflow(),
+            h.nonfinite(),
+            h.min(),
+            h.max(),
+        )
+        .expect("parts are consistent");
+        assert_eq!(rebuilt, h);
+        // Wrong bucket count is an error, not a panic.
+        assert!(Histogram::from_parts(
+            HistSpec::time_ms(),
+            vec![0; 3],
+            0,
+            0,
+            0,
+            None,
+            None
+        )
+        .is_err());
+        // A non-empty histogram must carry extrema.
+        assert!(
+            Histogram::from_parts(HistSpec::time_ms(), vec![1; 36], 0, 0, 0, None, None).is_err()
+        );
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_from_json_value() {
+        let mut m = Metrics::new();
+        m.add("zeek.frames_seen", 12345);
+        m.gauge_max("stream.live_flows", 77.25);
+        m.insert("h", Metric::Hist(filled(4, 250)));
+        m.observe("empty-ish", f64::NAN); // nonfinite-only histogram
+        let v = crate::obs::json::parse(&m.to_json()).expect("valid JSON");
+        let back = Metrics::from_json_value(&v).expect("reconstructs");
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), m.to_json());
+        assert_eq!(back.to_prometheus("ns"), m.to_prometheus("ns"));
+        // Junk shapes error instead of panicking.
+        for bad in ["[1]", "{\"x\": true}", "{\"x\": {\"weird\": 1}}", "{\"x\": -3}"] {
+            let v = crate::obs::json::parse(bad).unwrap();
+            assert!(Metrics::from_json_value(&v).is_err(), "{bad} must not reconstruct");
+        }
     }
 
     #[test]

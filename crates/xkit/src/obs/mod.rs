@@ -15,9 +15,18 @@
 //! * [`Registry`] — thread-safe atomic handles ([`Counter`], [`Gauge`],
 //!   [`HistogramHandle`]) that snapshot into the same [`Metrics`] type,
 //!   so concurrent and per-shard recording share one merge/export path.
-//! * [`SpanLog`] — driver-side stage timers rendered as an indented tree.
-//!   Span wall times are non-deterministic by nature and live next to —
-//!   never inside — the byte-compared metrics section.
+//! * [`SpanLog`] — driver-side stage timers rendered as an indented tree
+//!   or exported as Chrome trace-event JSON
+//!   ([`SpanLog::to_chrome_trace`]). Span wall times are
+//!   non-deterministic by nature and live next to — never inside — the
+//!   byte-compared metrics section.
+//! * [`FlightRecorder`] — a bounded drop-oldest ring of recent
+//!   structured events (epoch releases, evictions, stalls, rejects)
+//!   for live post-mortems.
+//! * [`ObsHub`] + [`http`] — the live plane: the pipeline publishes
+//!   snapshots into a shared hub, and a zero-dependency HTTP/1.1 server
+//!   exposes `/metrics`, `/snapshot`, `/spans`, `/events`, `/healthz`
+//!   (DESIGN.md §13).
 //!
 //! Exporters: [`Metrics::render_table`] (human), [`Metrics::to_json`]
 //! (canonical, re-parseable via [`json`]), and
@@ -29,11 +38,16 @@
 //! analysis, `fault.*` injector damage.
 
 pub mod clock;
+mod flight;
+mod hub;
+pub mod http;
 pub mod json;
 mod metrics;
 mod registry;
 mod span;
 
+pub use flight::{FlightEvent, FlightRecorder};
+pub use hub::ObsHub;
 pub use metrics::{HistSpec, Histogram, Metric, Metrics};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use span::{SpanId, SpanLog, SpanRecord};

@@ -21,6 +21,9 @@ pub struct SpanRecord {
     pub name: String,
     /// Nesting depth at open time (0 = top level).
     pub depth: usize,
+    /// Open time, nanoseconds since the log's first span opened (the
+    /// Chrome trace-event `ts` origin).
+    pub start_ns: u64,
     /// Wall time from open to finish, nanoseconds (0 while open).
     pub wall_ns: u64,
     /// Headline values attached to the span (`key = value`).
@@ -38,6 +41,9 @@ struct Open {
 pub struct SpanLog {
     records: Vec<SpanRecord>,
     stack: Vec<Open>,
+    /// Trace origin, set when the first span opens; every `start_ns`
+    /// is measured from here.
+    origin: Option<Mono>,
 }
 
 impl SpanLog {
@@ -48,14 +54,17 @@ impl SpanLog {
 
     /// Open a span nested under the innermost open span.
     pub fn start(&mut self, name: &str) -> SpanId {
+        let now = clock::now();
+        let origin = *self.origin.get_or_insert(now);
         let idx = self.records.len();
         self.records.push(SpanRecord {
             name: name.to_string(),
             depth: self.stack.len(),
+            start_ns: u64::try_from(origin.delta(now).as_nanos()).unwrap_or(u64::MAX),
             wall_ns: 0,
             notes: Vec::new(),
         });
-        self.stack.push(Open { idx, start: clock::now() });
+        self.stack.push(Open { idx, start: now });
         SpanId(idx)
     }
 
@@ -113,7 +122,8 @@ impl SpanLog {
         out
     }
 
-    /// JSON array of span objects (`name`, `depth`, `wall_ns`, `notes`).
+    /// JSON array of span objects (`name`, `depth`, `start_ns`,
+    /// `wall_ns`, `notes`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, r) in self.records.iter().enumerate() {
@@ -122,7 +132,10 @@ impl SpanLog {
             }
             out.push_str("\n  {\"name\": ");
             out.push_str(&crate::bench::json_string(&r.name));
-            out.push_str(&format!(", \"depth\": {}, \"wall_ns\": {}, \"notes\": {{", r.depth, r.wall_ns));
+            out.push_str(&format!(
+                ", \"depth\": {}, \"start_ns\": {}, \"wall_ns\": {}, \"notes\": {{",
+                r.depth, r.start_ns, r.wall_ns
+            ));
             for (j, (k, v)) in r.notes.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
@@ -134,6 +147,38 @@ impl SpanLog {
             out.push_str("}}");
         }
         out.push_str("\n]");
+        out
+    }
+
+    /// Chrome trace-event JSON: an array of complete (`"ph": "X"`)
+    /// events with `ts`/`dur` in microseconds, loadable in Perfetto or
+    /// `chrome://tracing`. Nesting is reconstructed by the viewer from
+    /// the shared `tid` and the `ts`/`dur` containment the span stack
+    /// guarantees; notes ride along as `args`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"name\": ");
+            out.push_str(&crate::bench::json_string(&r.name));
+            out.push_str(&format!(
+                ", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": 1, \"args\": {{",
+                r.start_ns as f64 / 1e3,
+                r.wall_ns as f64 / 1e3
+            ));
+            for (j, (k, v)) in r.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&crate::bench::json_string(k));
+                out.push_str(": ");
+                out.push_str(&if v.is_finite() { format!("{v}") } else { "null".into() });
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if self.records.is_empty() { "]" } else { "\n]" });
         out
     }
 }
@@ -206,6 +251,58 @@ mod tests {
         let json = log.to_json();
         assert!(json.contains("\"name\": \"stage.zeek\""));
         assert!(json.contains("\"rows\": 42"));
+    }
+
+    #[test]
+    fn start_times_are_monotone_from_the_trace_origin() {
+        let mut log = SpanLog::new();
+        let a = log.start("a");
+        log.finish(a);
+        let b = log.start("b");
+        log.finish(b);
+        let r = log.records();
+        assert_eq!(r[0].start_ns, 0, "origin is the first span's open");
+        assert!(r[1].start_ns >= r[0].start_ns);
+        assert!(log.to_json().contains("\"start_ns\": 0"));
+    }
+
+    #[test]
+    fn chrome_trace_matches_the_trace_event_schema() {
+        let mut log = SpanLog::new();
+        let id = log.scope("stage.zeek", |log| {
+            log.scope("stage.zeek.read", |_| {});
+            SpanId(0)
+        });
+        log.note(id, "rows", 42.0);
+        log.note(id, "bad", f64::NAN);
+        let trace = log.to_chrome_trace();
+        let v = crate::obs::json::parse(&trace).expect("trace is valid JSON");
+        let events = v.as_arr().expect("trace is an array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(|x| x.as_str()), Some("X"));
+            let ts = e.get("ts").and_then(|x| x.as_f64()).expect("ts");
+            let dur = e.get("dur").and_then(|x| x.as_f64()).expect("dur");
+            assert!(ts >= 0.0 && dur >= 0.0, "ts/dur in µs, non-negative");
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        }
+        // The child event nests inside its parent on the timeline.
+        let parent = &events[0];
+        let child = &events[1];
+        let end = |e: &crate::obs::json::Value| {
+            e.get("ts").and_then(|x| x.as_f64()).unwrap_or(0.0)
+                + e.get("dur").and_then(|x| x.as_f64()).unwrap_or(0.0)
+        };
+        assert!(end(child) <= end(parent) + 1.0, "child ends within parent (±1 µs)");
+        assert_eq!(
+            parent.get("args").and_then(|a| a.get("rows")).and_then(|x| x.as_f64()),
+            Some(42.0)
+        );
+        assert_eq!(
+            parent.get("args").and_then(|a| a.get("bad")),
+            Some(&crate::obs::json::Value::Null)
+        );
+        assert_eq!(SpanLog::new().to_chrome_trace(), "[]");
     }
 
     #[test]

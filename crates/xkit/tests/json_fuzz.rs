@@ -1,0 +1,141 @@
+//! Fuzz-smoke coverage for `xkit::obs::json::parse`: adversarial inputs
+//! must produce `Err`, never a panic, and everything that does parse must
+//! survive a render → parse round trip. The generator is a tiny seeded
+//! LCG, so every "random" case is reproducible from the source alone.
+
+use xkit::obs::json::{parse, Value};
+
+/// Deterministic byte soup: a multiplicative LCG over a fixed seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// Every input in this suite either parses or errors; the assertion is
+/// that nothing panics and successes re-render stably.
+fn must_not_panic(input: &str) {
+    if let Ok(v) = parse(input) {
+        let canon = v.render();
+        let back = parse(&canon).unwrap_or_else(|e| {
+            panic!("canonical render of {input:?} failed to re-parse: {e}")
+        });
+        assert_eq!(back.render(), canon, "render must be a fixed point for {input:?}");
+    }
+}
+
+#[test]
+fn escape_sequences_edge_cases() {
+    // Valid escapes round-trip to the right scalar.
+    assert_eq!(parse(r#""\u0000""#).unwrap(), Value::Str("\u{0}".into()));
+    assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    // Lone surrogates substitute U+FFFD rather than erroring.
+    assert_eq!(parse(r#""\ud800""#).unwrap(), Value::Str("\u{FFFD}".into()));
+    assert_eq!(parse(r#""\udc00x""#).unwrap(), Value::Str("\u{FFFD}x".into()));
+    // Malformed escapes are errors, not panics.
+    for bad in [r#""\"#, r#""\u"#, r#""\u12"#, r#""\uZZZZ""#, r#""\x41""#, "\"\\"] {
+        assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        must_not_panic(bad);
+    }
+}
+
+#[test]
+fn numeric_extremes_do_not_panic() {
+    assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+    // Overflowing literals saturate to infinity in Rust's f64 parser; the
+    // canonical renderer writes non-finite numbers as null, and that must
+    // still round-trip.
+    must_not_panic("1e309");
+    must_not_panic("-1e309");
+    must_not_panic(&format!("1{}", "0".repeat(400)));
+    must_not_panic(&format!("0.{}1", "0".repeat(400)));
+    assert_eq!(parse("-0.0").unwrap().as_f64(), Some(-0.0));
+    // Incomplete numbers error cleanly.
+    for bad in ["-", "1e", "1e+", ".", "1.", "0x10", "+1", "NaN", "Infinity"] {
+        // "1." style inputs are rejected by f64::from_str? ("1." parses in
+        // Rust) — either outcome is fine, the contract is no panic.
+        must_not_panic(bad);
+    }
+    assert!(parse("-").is_err());
+    assert!(parse("+1").is_err());
+    assert!(parse("NaN").is_err());
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_overflowed() {
+    // The parser admits 64 levels below the root; 66 brackets puts the
+    // innermost value past the limit.
+    for depth in [66, 100, 10_000] {
+        let arrays = "[".repeat(depth) + &"]".repeat(depth);
+        assert!(parse(&arrays).is_err(), "depth {depth} must be rejected");
+        let objects = "{\"k\":".repeat(depth) + "1" + &"}".repeat(depth);
+        assert!(parse(&objects).is_err(), "object depth {depth} must be rejected");
+    }
+    // Unclosed deep nesting (truncated input) is also an error.
+    assert!(parse(&"[".repeat(10_000)).is_err());
+}
+
+#[test]
+fn truncations_of_a_valid_document_error_cleanly() {
+    let doc = r#"{"meta":{"seed":42},"metrics":{"zeek.frames_seen":12,"g":{"gauge":-1.5e-3},"h":{"hist":{"count":2,"counts":[1,1]}}},"spans":[{"name":"stage.zeek","notes":{"café":1}}]}"#;
+    assert!(parse(doc).is_ok());
+    for cut in 1..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &doc[..cut];
+        assert!(parse(prefix).is_err(), "prefix of len {cut} must not parse");
+        must_not_panic(prefix);
+    }
+}
+
+#[test]
+fn seeded_byte_soup_never_panics() {
+    let mut rng = Lcg(0x5eed_cafe_d00d_f00d);
+    // Structured-ish alphabet: heavy on JSON syntax bytes so the soup
+    // reaches deep into the parser instead of failing on byte one.
+    let alphabet: &[u8] = b"{}[]\",:\\ud123456789eE.-+ truefalsn\n\t ";
+    for _ in 0..2_000 {
+        let len = (rng.next() % 64) as usize;
+        let bytes: Vec<u8> =
+            (0..len).map(|_| alphabet[(rng.next() % alphabet.len() as u64) as usize]).collect();
+        let input = String::from_utf8(bytes).expect("alphabet is ASCII");
+        must_not_panic(&input);
+    }
+}
+
+#[test]
+fn seeded_mutations_of_valid_documents_never_panic() {
+    let seeds = [
+        r#"{"a":1,"b":{"gauge":2.5},"c":{"hist":{"count":1,"counts":[1]}}}"#,
+        r#"[{"name":"stage.pair","ph":"X","ts":1.5,"dur":0.25,"args":{"hits":7}}]"#,
+        r#"{"events":[{"seq":0,"t_ns":12,"kind":"epoch.release","detail":"ok","value":3}]}"#,
+    ];
+    let mut rng = Lcg(0xdead_beef_1234_5678);
+    for doc in seeds {
+        assert!(parse(doc).is_ok());
+        for _ in 0..500 {
+            let mut bytes = doc.as_bytes().to_vec();
+            // One to three point mutations: overwrite, delete, or insert.
+            for _ in 0..=(rng.next() % 3) {
+                let at = (rng.next() % bytes.len() as u64) as usize;
+                match rng.next() % 3 {
+                    0 => bytes[at] = (rng.next() % 128) as u8,
+                    1 => {
+                        bytes.remove(at);
+                    }
+                    _ => bytes.insert(at, (rng.next() % 128) as u8),
+                }
+                if bytes.is_empty() {
+                    break;
+                }
+            }
+            if let Ok(input) = String::from_utf8(bytes) {
+                must_not_panic(&input);
+            }
+        }
+    }
+}

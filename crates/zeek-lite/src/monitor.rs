@@ -283,6 +283,7 @@ pub struct Monitor {
     stats: MonitorStats,
     degradation: DegradationStats,
     last_dns_sweep: Timestamp,
+    flight: Option<xkit::obs::FlightRecorder>,
 }
 
 impl Monitor {
@@ -296,7 +297,28 @@ impl Monitor {
             stats: MonitorStats::default(),
             degradation: DegradationStats::default(),
             last_dns_sweep: Timestamp::ZERO,
+            flight: None,
         }
+    }
+
+    /// Attach a flight recorder: every rejected frame records a
+    /// `fault.reject` event and every undecodable port-53 payload a
+    /// `parse.degrade` event. Only rejection paths touch the recorder —
+    /// the per-packet accept path stays recorder-free.
+    pub fn set_flight(&mut self, flight: xkit::obs::FlightRecorder) {
+        self.flight = Some(flight);
+    }
+
+    /// Mid-run snapshot: the monitor counters plus the degradation
+    /// buckets, without finishing the capture. Every family is a
+    /// monotone counter (plus the max-merged occupancy gauge), so any
+    /// snapshot is a valid prefix of the final [`Logs::metrics`] — in
+    /// particular `zeek.frames_seen = zeek.frames_accepted +
+    /// Σ zeek.reject.*` holds at every instant.
+    pub fn live_metrics(&self) -> Metrics {
+        let mut m = self.stats.to_metrics();
+        m.merge(&self.degradation.to_metrics());
+        m
     }
 
     /// Process one captured frame. `captured` holds the stored bytes
@@ -315,6 +337,13 @@ impl Monitor {
                     self.stats.parse_errors += 1;
                 }
                 self.degradation.record_pkt_error(&e);
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        "fault.reject",
+                        format!("{e:?}"),
+                        self.degradation.frames_seen as f64,
+                    );
+                }
                 return;
             }
         };
@@ -357,6 +386,13 @@ impl Monitor {
             Err(e) => {
                 self.stats.dns_decode_errors += 1;
                 self.degradation.record_dns_error(&e);
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        "parse.degrade",
+                        format!("{e:?}"),
+                        self.degradation.dns_payloads as f64,
+                    );
+                }
                 return;
             }
         };
@@ -515,6 +551,38 @@ impl Monitor {
         while let Some(record) = source.next()? {
             monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
         }
+        Ok(monitor.finish())
+    }
+
+    /// [`Monitor::process_source`] with a live observability plane:
+    /// feeds the hub's flight recorder and publishes a
+    /// [`live_metrics`](Monitor::live_metrics) + source-counter snapshot
+    /// into `hub` every `publish_every` frames (clamped to ≥ 1) and once
+    /// after the source drains. Scrape-at-any-time: every published
+    /// counter is monotone, so a mid-run scrape is a valid prefix of
+    /// the final snapshot.
+    pub fn process_source_observed<S: pcapio::RecordSource + ?Sized>(
+        source: &mut S,
+        config: MonitorConfig,
+        hub: &xkit::obs::ObsHub,
+        publish_every: u64,
+    ) -> Result<Logs, pcapio::PcapError> {
+        let every = publish_every.max(1);
+        let mut monitor = Monitor::new(config);
+        monitor.set_flight(hub.flight().clone());
+        let mut frames = 0u64;
+        while let Some(record) = source.next()? {
+            monitor.handle_frame(Timestamp(record.ts_nanos), record.data, record.orig_len);
+            frames += 1;
+            if frames % every == 0 {
+                let mut m = monitor.live_metrics();
+                m.merge(&source.metrics());
+                hub.publish_metrics(m);
+            }
+        }
+        let mut m = monitor.live_metrics();
+        m.merge(&source.metrics());
+        hub.publish_metrics(m);
         Ok(monitor.finish())
     }
 
@@ -789,6 +857,66 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.packets, 7);
         assert_eq!(a.peak_active_flows, 5);
+    }
+
+    #[test]
+    fn flight_hooks_fire_on_rejection_paths_only() {
+        let flight = xkit::obs::FlightRecorder::new(16);
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.set_flight(flight.clone());
+        // Accepted traffic records nothing.
+        feed(&mut m, 1000, &dns_query(7, "ok.example.com"));
+        feed(&mut m, 1008, &dns_response(7, "ok.example.com", SERVER, 300));
+        assert!(flight.is_empty());
+        // A truncated frame is a fault rejection.
+        let q = dns_query(8, "cut.example.com").encode();
+        m.handle_frame(Timestamp::from_millis(2000), &q[..10], q.len() as u32);
+        // Garbage on port 53 is a parse degradation.
+        feed(
+            &mut m,
+            3000,
+            &Frame::udp(MacAddr::LOCAL, MacAddr::UPSTREAM, HOUSE, RESOLVER, 50000, 53, b"junk"),
+        );
+        let kinds: Vec<&str> = flight.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["fault.reject", "parse.degrade"]);
+        // Mid-run snapshot upholds the frames identity.
+        let live = m.live_metrics();
+        assert_eq!(
+            live.counter("zeek.frames_seen"),
+            live.counter("zeek.frames_accepted") + live.sum_counters("zeek.reject.")
+        );
+    }
+
+    #[test]
+    fn process_source_observed_publishes_prefix_snapshots() {
+        use pcapio::{PcapWriter, TsPrecision};
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, 65535, TsPrecision::Nano).unwrap();
+            for i in 0..6u16 {
+                let q = dns_query(i, "obs.example.com");
+                let r = dns_response(i, "obs.example.com", SERVER, 60);
+                w.write_packet(u64::from(i) * 2_000_000_000, &q.encode(), None).unwrap();
+                w.write_packet(u64::from(i) * 2_000_000_000 + 4_000_000, &r.encode(), None)
+                    .unwrap();
+            }
+        }
+        let hub = xkit::obs::ObsHub::new(16);
+        let mut source = pcapio::source::file(&buf[..]).unwrap();
+        let logs =
+            Monitor::process_source_observed(&mut source, MonitorConfig::default(), &hub, 5)
+                .unwrap();
+        let published = hub.metrics();
+        // The final publication covers the whole capture...
+        assert_eq!(published.counter("zeek.frames_seen"), 12);
+        assert_eq!(published.counter("capture.frames_read"), 12);
+        // ...and agrees with the finished logs on every shared counter.
+        let final_m = logs.metrics();
+        assert_eq!(published.counter("zeek.dns_messages"), final_m.counter("zeek.dns_messages"));
+        assert_eq!(
+            published.counter("zeek.frames_seen"),
+            published.counter("zeek.frames_accepted") + published.sum_counters("zeek.reject.")
+        );
     }
 
     #[test]

@@ -180,4 +180,51 @@ awk -v c="$cores" -v s="$speedup" 'BEGIN {
     printf "sweep_speedup_x %.2f on %d core(s)\n", s, c
 }'
 
+echo "== obs-serve suite =="
+# The live observability plane: flight ring + hub semantics, the JSON
+# parser's fuzz-smoke, mid-run prefix validity, and the CLI serve path.
+cargo test -q --offline -p xkit --test json_fuzz
+cargo test -q --offline -p dnsctx --test obs_serve
+cargo test -q --offline -p bench --test serve_cli
+# Serve smoke on an ephemeral port: every endpoint must answer and
+# self-validate while the run is live.
+cargo run -q --release --offline -p bench --bin repro -- \
+    stream --houses 10 --days 0.05 --window-secs 30 \
+    --serve 127.0.0.1:0 --serve-check >/dev/null
+# Serving must not perturb the ingest document: serve-on and serve-off
+# runs emit byte-identical stdout.
+srv_on=$(mktemp /tmp/verify_serve_on.XXXXXX.json)
+srv_off=$(mktemp /tmp/verify_serve_off.XXXXXX.json)
+cargo run -q --release --offline -p bench --bin repro -- \
+    ingest --houses 10 --days 0.05 --source file 2>/dev/null > "$srv_off"
+cargo run -q --release --offline -p bench --bin repro -- \
+    ingest --houses 10 --days 0.05 --source file \
+    --serve 127.0.0.1:0 --serve-check 2>/dev/null > "$srv_on"
+if ! cmp -s "$srv_off" "$srv_on"; then
+    echo "FAIL: --serve changed the ingest stdout document" >&2
+    rm -f "$srv_on" "$srv_off"
+    exit 1
+fi
+rm -f "$srv_on" "$srv_off"
+echo "clean: --serve leaves the stdout document byte-identical"
+# Socket use stays behind the two sanctioned seams: the observability
+# HTTP server and the AF_PACKET capture backend. No other non-test code
+# may touch TcpListener/TcpStream/UdpSocket.
+bad=$(find crates -path '*/src/*' -name '*.rs' \
+    ! -path 'crates/xkit/src/obs/http.rs' \
+    ! -path 'crates/pcapio/src/raw.rs' \
+    -exec awk '
+    FNR == 1 { intest = 0 }
+    /#\[cfg\(test\)\]/ { intest = 1 }
+    intest { next }
+    /^[[:space:]]*\/\// { next }
+    /TcpListener|TcpStream|UdpSocket/ { print FILENAME ":" FNR ": " $0 }
+' {} + || true)
+if [ -n "$bad" ]; then
+    echo "$bad"
+    echo "FAIL: socket use outside xkit::obs::http and pcapio::raw" >&2
+    exit 1
+fi
+echo "clean: sockets confined to the HTTP exporter and the raw capture backend"
+
 echo "== verify OK =="
