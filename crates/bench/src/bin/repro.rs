@@ -66,6 +66,9 @@ struct Opts {
     source: String,
     iface: String,
     frames: u64,
+    format: String,
+    rule: String,
+    root: String,
     experiments: Vec<String>,
 }
 
@@ -95,6 +98,9 @@ fn parse_args() -> Opts {
         source: "file".into(),
         iface: "lo".into(),
         frames: 200,
+        format: "human".into(),
+        rule: String::new(),
+        root: ".".into(),
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -121,6 +127,9 @@ fn parse_args() -> Opts {
             "--source" => opts.source = grab("--source"),
             "--iface" => opts.iface = grab("--iface"),
             "--frames" => opts.frames = grab("--frames").parse().expect("frames"),
+            "--format" => opts.format = grab("--format"),
+            "--rule" => opts.rule = grab("--rule"),
+            "--root" => opts.root = grab("--root"),
             "--help" | "-h" => {
                 println!(
                     "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--serve ADDR] [--serve-check] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N]\n\
@@ -133,7 +142,9 @@ fn parse_args() -> Opts {
                      \x20       the run (stream and ingest; --serve-check self-validates every endpoint)\n\
                      ingest: stream pipeline behind the RecordSource seam; --source picks the backend\n\
                      \x20       (file = pcap round trip, ring = in-memory SPSC ring, iface = AF_PACKET via\n\
-                     \x20       --iface/--frames, needs the raw-socket build and CAP_NET_RAW)"
+                     \x20       --iface/--frames, needs the raw-socket build and CAP_NET_RAW)\n\
+                     lint: token-aware invariant checker over the workspace sources\n\
+                     \x20     [--format human|json] [--rule ID] [--root PATH]; exits 1 on violations"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +176,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        return;
+    }
+    // `lint` runs the token-aware invariant checker over the workspace.
+    if opts.experiments.iter().any(|e| e == "lint") {
+        lint(&opts);
         return;
     }
     // `stream` drives the bounded-memory epoch pipeline, capped like obs.
@@ -264,6 +280,45 @@ fn main() {
     if opts.experiments.iter().any(|e| e == "bench") {
         bench(&cfg, &opts, &out.logs, &analysis);
     }
+}
+
+/// `repro lint [--format human|json] [--rule ID] [--root PATH]` — run
+/// the lintkit invariant checker over the workspace. Human diagnostics
+/// go to stderr (stdout stays reserved for the one JSON document that
+/// `--format json` emits). Exit codes: 0 clean, 1 violations, 2 usage
+/// or IO error.
+fn lint(opts: &Opts) {
+    let fail = |msg: String| -> ! {
+        eprintln!("repro lint: {msg}");
+        std::process::exit(2);
+    };
+    match opts.format.as_str() {
+        "human" | "json" => {}
+        other => fail(format!("unknown --format `{other}` (human|json)")),
+    }
+    let root = std::path::Path::new(&opts.root);
+    if !root.join("crates").is_dir() {
+        fail(format!(
+            "`{}` does not look like the workspace root (no crates/); pass --root",
+            opts.root
+        ));
+    }
+    let only = if opts.rule.is_empty() { None } else { Some(opts.rule.as_str()) };
+    let report = match lintkit::lint_workspace(root, only) {
+        Ok(r) => r,
+        Err(e) => fail(e),
+    };
+    if opts.format == "json" {
+        println!("{}", report.to_json());
+        eprintln!(
+            "lint: {} ({} files checked)",
+            if report.ok() { "clean" } else { "violations found" },
+            report.files_checked
+        );
+    } else {
+        eprint!("{}", report.render_human());
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
 }
 
 fn table1(analysis: &Analysis<'_>) {

@@ -1,0 +1,113 @@
+//! `repro lint` CLI contract: exit codes, the stdout/stderr split, and
+//! a JSON document that parses back through `xkit::obs::json`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn lint_json_on_the_real_workspace_is_clean_and_parses_back() {
+    let root = workspace_root();
+    let out = repro(&["lint", "--format", "json", "--root", root.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // stdout is exactly one JSON document; the status line is on stderr.
+    let doc = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let v = xkit::obs::json::parse(doc.trim()).expect("stdout parses via xkit::obs::json");
+    assert_eq!(v.get("tool").and_then(|t| t.as_str()), Some("lintkit"));
+    assert!(matches!(v.get("ok"), Some(xkit::obs::json::Value::Bool(true))));
+    assert!(v.get("files_checked").and_then(|n| n.as_f64()).expect("files_checked") > 50.0);
+
+    // The advertised rule table matches the engine's.
+    let rules = v.get("rules").and_then(|r| r.as_arr()).expect("rules array");
+    let engine = lintkit::rules::rules();
+    assert_eq!(rules.len(), engine.len());
+    for (json_rule, rule) in rules.iter().zip(&engine) {
+        assert_eq!(json_rule.get("id").and_then(|i| i.as_str()), Some(rule.id));
+    }
+    // Clean run: every per-rule count is zero and no diagnostics.
+    for rule in &engine {
+        let n = v.get("counts").and_then(|c| c.get(rule.id)).and_then(|n| n.as_f64());
+        assert_eq!(n, Some(0.0), "count for {}", rule.id);
+    }
+    assert_eq!(v.get("diagnostics").and_then(|d| d.as_arr()).map(<[_]>::len), Some(0));
+
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lint: clean"), "status line on stderr: {err}");
+}
+
+/// Build a throwaway mini-workspace with one seeded violation per
+/// stream (Rust source + manifest) and return its root.
+fn seeded_workspace(tag: &str) -> PathBuf {
+    let root = workspace_root().join("target").join(format!("lint_cli_{tag}_{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    )
+    .expect("write lib.rs");
+    std::fs::write(
+        root.join("crates/demo/Cargo.toml"),
+        "[package]\nname = \"demo\"\n\n[dependencies]\nrand = \"0.8\"\n",
+    )
+    .expect("write manifest");
+    root
+}
+
+#[test]
+fn lint_reports_seeded_violations_with_exit_code_one() {
+    let root = seeded_workspace("human");
+    let out = repro(&["lint", "--root", root.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clock-seam"), "human diagnostics on stderr: {err}");
+    assert!(err.contains("dep-denylist"), "{err}");
+    assert!(err.contains("crates/demo/src/lib.rs:1:"), "span-accurate location: {err}");
+    assert!(out.stdout.is_empty(), "human mode writes nothing to stdout");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn rule_filter_restricts_the_run() {
+    let root = seeded_workspace("filter");
+    let arg = root.to_str().expect("utf8");
+
+    let out = repro(&["lint", "--format", "json", "--rule", "clock-seam", "--root", arg]);
+    assert_eq!(out.status.code(), Some(1));
+    let v = xkit::obs::json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("parses");
+    let diags = v.get("diagnostics").and_then(|d| d.as_arr()).expect("diagnostics");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("rule").and_then(|r| r.as_str()), Some("clock-seam"));
+    assert_eq!(diags[0].get("line").and_then(|l| l.as_f64()), Some(1.0));
+
+    // Filtering to a rule the seeded tree satisfies exits clean.
+    let out = repro(&["lint", "--rule", "stdout-discipline", "--root", arg]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let root = workspace_root();
+    let arg = root.to_str().expect("utf8");
+    let out = repro(&["lint", "--rule", "no-such-rule", "--root", arg]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+
+    let out = repro(&["lint", "--format", "yaml", "--root", arg]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = repro(&["lint", "--root", "/nonexistent/not-a-workspace"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -173,6 +173,7 @@ impl CacheReplay {
         }
         self.last_sweep = now;
         let mut dropped = 0u64;
+        // lint: allow(no-map-iteration): each house is pruned independently
         for house in self.cache.values_mut() {
             house.retain(|_, expiry| {
                 let alive = *expiry > now;
@@ -373,6 +374,7 @@ pub fn refresh(logs: &Logs, analysis: &Analysis<'_>, refresh_min_ttl: Duration) 
     // plus one refresh per TTL interval from first sight to trace end for
     // each refreshed (house, name).
     let mut refresh_lookups: u64 = ref_misses;
+    // lint: allow(no-map-iteration): order-insensitive integer fold
     for ((_, name), t0) in &first_seen {
         let ttl = max_ttl[*name].max(1) as f64;
         let window = end.since(*t0).as_secs_f64();
@@ -464,6 +466,7 @@ pub fn refresh_selective(
     let mut hits = 0u64;
     let mut misses = 0u64;
     let mut lookups = 0u64;
+    // lint: allow(no-map-iteration): order-insensitive integer fold per key
     for ((_house, name), times) in &uses {
         let ttl = max_ttl[*name].max(1);
         let ttl_d = Duration::from_secs(ttl as u64);

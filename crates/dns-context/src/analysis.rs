@@ -281,6 +281,7 @@ impl<'a> Analysis<'a> {
         m.add("class.shared_cache", counts.shared_cache as u64);
         m.add("class.resolution", counts.resolution as u64);
         m.add("threshold.resolvers", self.thresholds.len() as u64);
+        // lint: allow(no-map-iteration): one metrics key per map key; Metrics stores sorted
         for (addr, thr) in &self.thresholds {
             m.gauge_max(&format!("threshold.{addr}.ms"), thr.as_millis_f64());
         }

@@ -145,6 +145,7 @@ pub fn resolver_thresholds(dns: &DnsColumns, rule: ThresholdRule) -> HashMap<Ipv
         }
     }
     by_resolver
+        // lint: allow(no-map-iteration): map-to-map transform, no order reaches output
         .into_iter()
         .filter(|(_, (_, n))| *n >= rule.min_lookups)
         .map(|(addr, (min_ms, _))| {
@@ -289,6 +290,7 @@ pub fn no_dns_breakdown(
             unpaired_not_p2p += 1;
         }
     }
+    // lint: allow(no-map-iteration): sorted just below under a total order
     let mut reserved_port_endpoints: Vec<_> = reserved.into_iter().collect();
     reserved_port_endpoints.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     NoDnsBreakdown {

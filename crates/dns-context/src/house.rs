@@ -80,6 +80,7 @@ pub fn house_reports(
         }
     }
     let mut reports: Vec<HouseReport> = by_house
+        // lint: allow(no-map-iteration): sorted just below under a total order
         .into_iter()
         .map(|(addr, a)| HouseReport {
             addr,

@@ -106,6 +106,7 @@ pub fn platform_reports(
         houses.entry(p).or_default().insert(t.client);
         all_houses.insert(t.client);
     }
+    // lint: allow(no-map-iteration): order-insensitive integer sum
     let total_lookups: usize = lookups.values().sum();
 
     // ---- paired connections ----

@@ -356,6 +356,7 @@ impl StreamEngine {
         let mut thresholds: HashMap<Ipv4Addr, Duration> = HashMap::new();
         let mut shared_cache = 0u64;
         let mut resolution = 0u64;
+        // lint: allow(no-map-iteration): order-insensitive integer folds per resolver
         for (addr, acc) in &self.resolvers {
             if acc.answered >= rule.min_lookups {
                 let thr_ms = (acc.min_ms * rule.mult + rule.add_ms).max(rule.floor_ms).ceil();
@@ -398,6 +399,7 @@ impl StreamEngine {
         m.add("class.shared_cache", shared_cache);
         m.add("class.resolution", resolution);
         m.add("threshold.resolvers", thresholds.len() as u64);
+        // lint: allow(no-map-iteration): one metrics key per map key; Metrics stores sorted
         for (addr, thr) in &thresholds {
             m.gauge_max(&format!("threshold.{addr}.ms"), thr.as_millis_f64());
         }
@@ -592,6 +594,7 @@ impl StreamEngine {
     /// docs), releasing per-lookup claim state when the last entry goes.
     fn evict(&mut self, w: Timestamp) {
         let mut dropped: Vec<usize> = Vec::new();
+        // lint: allow(no-map-iteration): each key's run is pruned independently
         for entries in self.index.values_mut() {
             let cut = entries.partition_point(|e| e.completed <= w);
             if cut < 2 {

@@ -1,0 +1,509 @@
+//! The rule table: every source-level invariant the workspace enforces,
+//! as data plus a handful of token-aware checks.
+//!
+//! Seven rules port the old `scripts/verify.sh` awk/grep deny-lists;
+//! `no-map-iteration`, `unsafe-needs-safety-comment`,
+//! `stdout-discipline`, and `no-wallclock` are new invariants the shell
+//! could not express; `verify-shell-discipline` is the meta-rule that
+//! keeps ad-hoc source scanning from creeping back into verify.sh.
+//!
+//! Any diagnostic can be suppressed for one line by a comment on that
+//! line containing `lint: allow(<rule-id>)`; `no-owned-copy-hotpath`
+//! also honours the pre-existing `owned-fallback` markers.
+
+use crate::lexer::{Lexed, Lexeme};
+
+/// Where a rule looks.
+pub struct Scope {
+    /// Workspace-relative path prefixes the rule applies to.
+    pub roots: &'static [&'static str],
+    /// Path prefixes (or exact files) the rule never applies to.
+    pub exclude: &'static [&'static str],
+    /// Restrict to `src/` trees (skip `tests/`, `benches/`, `examples/`).
+    pub src_only: bool,
+    /// Also scan `#[cfg(test)]`-scoped code and test trees.
+    pub include_tests: bool,
+}
+
+/// How a rule matches.
+pub enum Check {
+    /// Literal needles searched in code tokens only, with identifier
+    /// boundary guards (so `println!` never matches inside `eprintln!`).
+    Needles(&'static [&'static str]),
+    /// Iteration over `FastMap`/`FastSet`/`HashMap`/`HashSet` bindings.
+    MapIteration,
+    /// `unsafe` blocks and `unsafe impl` need a `// SAFETY:` rationale.
+    UnsafeSafety,
+    /// Denied external crates in `Cargo.toml` manifests.
+    DepDenylist(&'static [&'static str]),
+    /// awk/grep source scanning inside `scripts/verify.sh`.
+    ShellScan,
+}
+
+/// One invariant.
+pub struct Rule {
+    /// Stable id, used in diagnostics and `lint: allow(...)` markers.
+    pub id: &'static str,
+    /// One-line statement of the invariant.
+    pub desc: &'static str,
+    /// What to do instead when the rule fires.
+    pub hint: &'static str,
+    /// Where the rule looks.
+    pub scope: Scope,
+    /// How it matches.
+    pub check: Check,
+    /// Extra legacy marker substrings that suppress this rule's
+    /// diagnostics on their line (besides `lint: allow(<id>)`).
+    pub markers: &'static [&'static str],
+}
+
+/// Map/set types whose bucket order is nondeterministic.
+pub const HASHED_TYPES: [&str; 4] = ["FastMap", "FastSet", "HashMap", "HashSet"];
+
+/// Methods that iterate a map in bucket order.
+pub const ITER_METHODS: [&str; 9] = [
+    "iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "into_keys",
+    "into_values", "drain",
+];
+
+/// The full rule table, in reporting order.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "no-unwrap-parse",
+            desc: "parse paths must not panic: no .unwrap()/.expect( in netpkt or dns-wire",
+            hint: "return a typed Err (PktError/WireError); malformed input is data, not a bug",
+            scope: Scope {
+                roots: &["crates/netpkt/src", "crates/dns-wire/src"],
+                exclude: &[],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&[".unwrap()", ".expect("]),
+            markers: &[],
+        },
+        Rule {
+            id: "no-owned-copy-hotpath",
+            desc: "per-frame parse paths stay copy-free: no .to_vec()/.clone() in pcapio, netpkt, dns-wire",
+            hint: "borrow from the record buffer; mark a sanctioned exit with `// owned-fallback: why`",
+            scope: Scope {
+                roots: &["crates/pcapio/src", "crates/netpkt/src", "crates/dns-wire/src"],
+                exclude: &[],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&[".to_vec()", ".clone()"]),
+            markers: &["owned-fallback"],
+        },
+        Rule {
+            id: "clock-seam",
+            desc: "monotonic time is read in one place: no Instant::now outside crates/xkit",
+            hint: "use xkit::obs::clock::now() so timing stays on the one seam",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/xkit/"],
+                src_only: false,
+                include_tests: true,
+            },
+            check: Check::Needles(&["Instant::now"]),
+            markers: &[],
+        },
+        Rule {
+            id: "socket-fence",
+            desc: "sockets stay behind the two seams: no TcpListener/TcpStream/UdpSocket outside xkit::obs::http and pcapio::raw",
+            hint: "serve through xkit::obs::http or capture through pcapio::raw",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/xkit/src/obs/http.rs", "crates/pcapio/src/raw.rs"],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&["TcpListener", "TcpStream", "UdpSocket"]),
+            markers: &[],
+        },
+        Rule {
+            id: "ingest-seam",
+            desc: "all ingestion goes through the RecordSource seam: no PcapReader::new outside pcapio",
+            hint: "construct the file backend via pcapio::source::file",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/pcapio/"],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&["PcapReader::new"]),
+            markers: &[],
+        },
+        Rule {
+            id: "no-batch-in-stream",
+            desc: "the streaming engine must not fall back to a full-trace batch pass",
+            hint: "stay on the windowed epoch path; the batch pipeline is only the test oracle",
+            scope: Scope {
+                roots: &["crates/dns-context/src/stream.rs"],
+                exclude: &[],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&[
+                "Pairing::build",
+                "Analysis::run",
+                "Monitor::process_pcap",
+                ".finish().metrics()",
+            ]),
+            markers: &[],
+        },
+        Rule {
+            id: "dep-denylist",
+            desc: "the workspace is zero-dependency: no external crates in any manifest",
+            hint: "use the in-tree equivalent (xkit::rng, xkit::par, xkit::bench, xkit::collections)",
+            scope: Scope {
+                roots: &["Cargo.toml", "crates"],
+                exclude: &[],
+                src_only: false,
+                include_tests: true,
+            },
+            check: Check::DepDenylist(&["rand", "criterion", "proptest", "crossbeam", "parking_lot"]),
+            markers: &[],
+        },
+        Rule {
+            id: "no-map-iteration",
+            desc: "FastMap/FastSet/HashMap/HashSet are never iterated on an output path (bucket order is not deterministic)",
+            hint: "keep a first-seen key list or sort before iterating; order-insensitive folds may carry `// lint: allow(no-map-iteration): why`",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &[],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::MapIteration,
+            markers: &[],
+        },
+        Rule {
+            id: "unsafe-needs-safety-comment",
+            desc: "every unsafe block / unsafe impl is preceded by a `// SAFETY:` rationale",
+            hint: "state the invariant that makes the block sound, on or just above its line",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &[],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::UnsafeSafety,
+            markers: &[],
+        },
+        Rule {
+            id: "stdout-discipline",
+            desc: "stdout carries exactly one JSON document: no println!/print!/dbg! in library crates",
+            hint: "route human-readable output through eprintln! (stderr)",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/bench/src/bin/"],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&["println!", "print!", "dbg!"]),
+            markers: &[],
+        },
+        Rule {
+            id: "no-wallclock",
+            desc: "wall-clock reads stay on the sanctioned seams: no SystemTime::now/thread::sleep outside xkit clock + http",
+            hint: "take timestamps through xkit::obs::clock or justify the seam with an allow marker",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/xkit/src/obs/clock.rs", "crates/xkit/src/obs/http.rs"],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&["SystemTime::now", "thread::sleep"]),
+            markers: &[],
+        },
+        Rule {
+            id: "verify-shell-discipline",
+            desc: "verify.sh contains no freestanding awk/grep source scans: invariants live in lintkit rules",
+            hint: "add a lintkit rule instead of a shell deny-grep",
+            scope: Scope {
+                roots: &["scripts/verify.sh"],
+                exclude: &[],
+                src_only: false,
+                include_tests: true,
+            },
+            check: Check::ShellScan,
+            markers: &[],
+        },
+    ]
+}
+
+/// A raw hit inside one file: byte offset of the match.
+pub struct Hit {
+    /// Byte offset the diagnostic anchors to.
+    pub at: usize,
+    /// Needle or short description of what matched.
+    pub what: String,
+}
+
+/// Run a needle check over the code tokens of a lexed file.
+pub fn needle_hits(lexed: &Lexed<'_>, needles: &[&str]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (base, text) in lexed.code_segments() {
+        for needle in needles {
+            let nb = needle.as_bytes();
+            let lead_guard = nb.first().is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+            let tail_guard = nb.last().is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+            let mut from = 0usize;
+            while let Some(rel) = text[from..].find(needle) {
+                let at = from + rel;
+                from = at + 1;
+                let bytes = text.as_bytes();
+                if lead_guard
+                    && at > 0
+                    && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_')
+                {
+                    continue;
+                }
+                let end = at + nb.len();
+                if tail_guard
+                    && end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    continue;
+                }
+                hits.push(Hit { at: base + at, what: (*needle).to_string() });
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.at);
+    hits
+}
+
+/// Token-aware map-iteration check: collect the file's bindings whose
+/// declared (or constructed) type is one of [`HASHED_TYPES`], then flag
+/// `binding.iter()`-style calls and bare `for … in [&mut] binding` loops
+/// over them.
+pub fn map_iteration_hits(lexed: &Lexed<'_>) -> Vec<Hit> {
+    let toks = lexed.code_lexemes();
+    let ident = |i: usize| match toks.get(i) {
+        Some((_, Lexeme::Ident(s))) => Some(*s),
+        _ => None,
+    };
+    let punct = |i: usize| match toks.get(i) {
+        Some((_, Lexeme::Punct(b))) => Some(*b),
+        _ => None,
+    };
+
+    // Pass A: `name: [&][mut]['a] FastMap<…>` (fields, params, lets).
+    let mut bindings: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident(i) else { continue };
+        // A single `:` (not `::`) right after the name.
+        if punct(i + 1) != Some(b':') || punct(i + 2) == Some(b':') {
+            continue;
+        }
+        if i > 0 && punct(i - 1) == Some(b':') {
+            continue;
+        }
+        let mut j = i + 2;
+        loop {
+            match toks.get(j) {
+                Some((_, Lexeme::Punct(b'&'))) => j += 1,
+                // A lifetime is the quote plus its identifier.
+                Some((_, Lexeme::Punct(b'\''))) => j += 2,
+                Some((_, Lexeme::Ident("mut"))) => j += 1,
+                Some((_, Lexeme::Ident(ty))) => {
+                    if HASHED_TYPES.contains(ty) && !bindings.contains(&name) {
+                        bindings.push(name);
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    // Pass A': `let [mut] name = … FastMap::…` / `… HashMap::new()` up
+    // to the statement's `;`.
+    for i in 0..toks.len() {
+        if ident(i) != Some("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if ident(j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ident(j) else { continue };
+        let mut k = j + 1;
+        while let Some(tok) = toks.get(k) {
+            match tok.1 {
+                Lexeme::Punct(b';') => break,
+                Lexeme::Ident(ty)
+                    if HASHED_TYPES.contains(&ty)
+                        && punct(k + 1) == Some(b':')
+                        && punct(k + 2) == Some(b':') =>
+                {
+                    if !bindings.contains(&name) {
+                        bindings.push(name);
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+
+    let mut hits = Vec::new();
+    // U1: `binding.method(` with an iterating method.
+    for i in 0..toks.len() {
+        let Some(name) = ident(i) else { continue };
+        if !bindings.contains(&name) {
+            continue;
+        }
+        if punct(i + 1) != Some(b'.') {
+            continue;
+        }
+        let Some(m) = ident(i + 2) else { continue };
+        if ITER_METHODS.contains(&m) && punct(i + 3) == Some(b'(') {
+            hits.push(Hit { at: toks[i + 2].0, what: format!("{name}.{m}()") });
+        }
+    }
+    // U2: `for pat in [&][mut] [self.]binding {` — iteration by ref
+    // without a method call.
+    for i in 0..toks.len() {
+        if ident(i) != Some("for") {
+            continue;
+        }
+        // Find the matching `in` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let in_at = loop {
+            match toks.get(j) {
+                None => break None,
+                Some((_, Lexeme::Punct(b'(' | b'['))) => depth += 1,
+                Some((_, Lexeme::Punct(b')' | b']'))) => depth -= 1,
+                Some((_, Lexeme::Ident("in"))) if depth == 0 => break Some(j),
+                Some((_, Lexeme::Punct(b'{'))) => break None,
+                _ => {}
+            }
+            j += 1;
+            if j > i + 64 {
+                break None;
+            }
+        };
+        let Some(in_at) = in_at else { continue };
+        // Collect the iterated expression up to the loop body `{`.
+        let mut expr: Vec<(usize, Lexeme<'_>)> = Vec::new();
+        let mut k = in_at + 1;
+        let mut simple = true;
+        loop {
+            match toks.get(k) {
+                None => {
+                    simple = false;
+                    break;
+                }
+                Some((_, Lexeme::Punct(b'{'))) => break,
+                Some(tok) => {
+                    match tok.1 {
+                        Lexeme::Punct(b'&' | b'.') | Lexeme::Ident(_) => expr.push(*tok),
+                        _ => simple = false,
+                    }
+                }
+            }
+            k += 1;
+            if k > in_at + 16 {
+                simple = false;
+                break;
+            }
+        }
+        if !simple {
+            continue;
+        }
+        if let Some((at, Lexeme::Ident(name))) = expr.last() {
+            if *name != "mut" && bindings.contains(name) {
+                hits.push(Hit { at: *at, what: format!("for … in {name}") });
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.at);
+    hits.dedup_by_key(|h| h.at);
+    hits
+}
+
+/// `unsafe` blocks / impls without a `// SAFETY:` comment on their line
+/// or within the three lines above.
+pub fn unsafe_safety_hits(lexed: &Lexed<'_>) -> Vec<Hit> {
+    let toks = lexed.code_lexemes();
+    let mut hits = Vec::new();
+    for i in 0..toks.len() {
+        let (at, Lexeme::Ident("unsafe")) = toks[i] else { continue };
+        // Only blocks (`unsafe {`) and impls (`unsafe impl`) assert an
+        // invariant at this site; `unsafe fn`/`unsafe trait` declare one
+        // for callers and are documented at the signature instead.
+        let needs = match toks.get(i + 1) {
+            Some((_, Lexeme::Punct(b'{'))) => true,
+            Some((_, Lexeme::Ident("impl"))) => true,
+            _ => false,
+        };
+        if !needs {
+            continue;
+        }
+        let line = lexed.line_of(at);
+        let covered = (line.saturating_sub(3)..=line).any(|l| l >= 1 && lexed.line_has_marker(l, "SAFETY:"));
+        if !covered {
+            hits.push(Hit { at, what: "unsafe without SAFETY: rationale".to_string() });
+        }
+    }
+    hits
+}
+
+/// Denied dependency declarations in a `Cargo.toml`: a denied crate
+/// name opening a line (`rand = …`, `rand.workspace = …`) outside
+/// comments.
+pub fn dep_denylist_hits(src: &str, denied: &[&str]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    let mut off = 0usize;
+    for line in src.split_inclusive('\n') {
+        let code = match line.find('#') {
+            // TOML has no `#` inside bare keys; strings on dependency
+            // lines never precede the key, so a plain split is enough.
+            Some(h) => &line[..h],
+            None => line,
+        };
+        let trimmed = code.trim_start();
+        for name in denied {
+            if trimmed.starts_with(name) {
+                let rest = &trimmed[name.len()..];
+                if rest.trim_start().starts_with('=')
+                    || rest.starts_with('.')
+                    || rest.starts_with(' ')
+                    || rest.starts_with('\t')
+                {
+                    hits.push((off + (code.len() - trimmed.len()), format!("dependency `{name}`")));
+                }
+            }
+        }
+        off += line.len();
+    }
+    hits
+}
+
+/// awk/grep source scanning inside verify.sh. Any `awk` at all is
+/// flagged (a multi-line awk program hides its target paths from a
+/// line-based scan, so the opener is the reliable anchor); recursive
+/// greps and finds aimed at `.rs` files are flagged too. Sanctioned
+/// numeric post-processing carries an allow marker on or above its
+/// line.
+pub fn shell_scan_hits(src: &str) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    let mut off = 0usize;
+    for line in src.split_inclusive('\n') {
+        let code = line.split('#').next().unwrap_or("");
+        if code.contains("awk") {
+            hits.push((off, "awk invocation (invariants belong in lintkit rules)".to_string()));
+        } else if code.contains("grep") && (code.contains("*.rs") || code.contains("--include"))
+        {
+            hits.push((off, "recursive grep over Rust sources".to_string()));
+        } else if code.contains("find ") && code.contains(".rs") {
+            hits.push((off, "find over Rust sources".to_string()));
+        }
+        off += line.len();
+    }
+    hits
+}

@@ -1,0 +1,283 @@
+//! Rule corpus: one positive and one negative fixture per rule, plus
+//! the suppression paths (test scoping, allow markers, comment/literal
+//! blindness) and the canonical-JSON rendering.
+
+use lintkit::{lint_file, Diagnostic};
+
+/// Diagnostics for `src` filed under `path`, all rules active.
+fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_file(path, src, None)
+}
+
+/// Ids of the rules that fired.
+fn fired(path: &str, src: &str) -> Vec<String> {
+    diags(path, src).into_iter().map(|d| d.rule).collect()
+}
+
+// ---- no-unwrap-parse ---------------------------------------------------
+
+#[test]
+fn unwrap_in_parse_path_fires() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let d = diags("crates/netpkt/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "no-unwrap-parse");
+    assert_eq!((d[0].line, d[0].col), (1, 34));
+    assert!(d[0].excerpt.contains("x.unwrap()"));
+    assert!(!d[0].hint.is_empty());
+}
+
+#[test]
+fn unwrap_outside_parse_crates_is_out_of_scope() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(fired("crates/dns-context/src/lib.rs", src).iter().all(|r| r != "no-unwrap-parse"));
+}
+
+#[test]
+fn unwrap_after_test_module_still_fires() {
+    // The scoping fix: the test module exempts only its own extent.
+    let src = "#[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n\
+               pub fn live(x: Option<u8>) -> u8 { x.expect(\"live\") }\n";
+    let d = diags("crates/dns-wire/src/lib.rs", src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 3);
+    assert_eq!(d[0].what, ".expect(");
+}
+
+#[test]
+fn unwrap_in_comment_or_raw_string_is_inert() {
+    let src = "// x.unwrap()\n/* x.unwrap() */\npub fn f() -> String { r#\".unwrap()\"#.into() }\n";
+    assert!(diags("crates/netpkt/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn allow_marker_suppresses_on_line_and_from_block_above() {
+    let on_line = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(no-unwrap-parse): proven Some\n";
+    assert!(diags("crates/netpkt/src/lib.rs", on_line).is_empty());
+    let above = "// lint: allow(no-unwrap-parse): slice length checked on\n\
+                 // the previous line, so the tail comment spills over\n\
+                 pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(diags("crates/netpkt/src/lib.rs", above).is_empty());
+    let detached = "// lint: allow(no-unwrap-parse): too far away\n\
+                    \n\
+                    pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(diags("crates/netpkt/src/lib.rs", detached).len(), 1, "a blank line breaks the block");
+}
+
+// ---- no-owned-copy-hotpath ---------------------------------------------
+
+#[test]
+fn clone_on_hot_path_fires_and_owned_fallback_suppresses() {
+    let src = "pub fn f(d: &[u8]) -> Vec<u8> { d.to_vec() }\n";
+    assert_eq!(fired("crates/pcapio/src/lib.rs", src), vec!["no-owned-copy-hotpath"]);
+    let marked = "pub fn f(d: &[u8]) -> Vec<u8> { d.to_vec() } // owned-fallback: rewrite seam\n";
+    assert!(diags("crates/pcapio/src/lib.rs", marked).is_empty());
+}
+
+#[test]
+fn clone_outside_hot_crates_is_out_of_scope() {
+    let src = "pub fn f(d: &[u8]) -> Vec<u8> { d.to_vec() }\n";
+    assert!(diags("crates/cache-sim/src/lib.rs", src).is_empty());
+}
+
+// ---- clock-seam / no-wallclock -----------------------------------------
+
+#[test]
+fn instant_now_fires_everywhere_but_xkit() {
+    let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(fired("crates/dns-context/src/lib.rs", src), vec!["clock-seam"]);
+    assert!(diags("crates/xkit/src/bench.rs", src).is_empty());
+}
+
+#[test]
+fn wallclock_fires_outside_the_clock_seam() {
+    let src = "pub fn f() { let _ = std::time::SystemTime::now(); }\n";
+    assert_eq!(fired("crates/pcapio/src/lib.rs", src), vec!["no-wallclock"]);
+    assert!(diags("crates/xkit/src/obs/clock.rs", src).is_empty());
+}
+
+// ---- socket-fence / ingest-seam / no-batch-in-stream --------------------
+
+#[test]
+fn sockets_fire_outside_the_two_seams() {
+    let src = "use std::net::TcpListener;\n";
+    assert_eq!(fired("crates/dns-context/src/lib.rs", src), vec!["socket-fence"]);
+    assert!(diags("crates/xkit/src/obs/http.rs", src).is_empty());
+    assert!(diags("crates/pcapio/src/raw.rs", src).is_empty());
+}
+
+#[test]
+fn pcap_reader_construction_fires_outside_pcapio() {
+    let src = "pub fn f(b: &[u8]) { let _ = PcapReader::new(b); }\n";
+    assert_eq!(fired("crates/dns-context/src/lib.rs", src), vec!["ingest-seam"]);
+    assert!(diags("crates/pcapio/src/source.rs", src).is_empty());
+}
+
+#[test]
+fn batch_entry_points_fire_only_in_stream_rs() {
+    let src = "pub fn f() { Pairing::build(); }\n";
+    assert_eq!(fired("crates/dns-context/src/stream.rs", src), vec!["no-batch-in-stream"]);
+    assert!(diags("crates/dns-context/src/analysis.rs", src).is_empty());
+}
+
+// ---- dep-denylist -------------------------------------------------------
+
+#[test]
+fn denied_dependency_fires_in_manifests() {
+    let src = "[dependencies]\nrand = \"0.8\"\n";
+    let d = diags("crates/demo/Cargo.toml", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "dep-denylist");
+    assert_eq!(d[0].line, 2);
+    assert!(d[0].what.contains("rand"));
+}
+
+#[test]
+fn denylist_ignores_comments_prefix_words_and_non_manifests() {
+    assert!(diags("crates/demo/Cargo.toml", "# rand = \"0.8\"\n").is_empty());
+    assert!(diags("crates/demo/Cargo.toml", "randomize = \"1\"\n").is_empty());
+    assert!(diags("crates/demo/Cargo.toml", "parking_lot.workspace = true\n").len() == 1);
+    assert!(diags("crates/demo/src/lib.rs", "// rand = \"0.8\"\n").is_empty());
+}
+
+// ---- no-map-iteration ---------------------------------------------------
+
+#[test]
+fn map_method_iteration_fires() {
+    let src = "pub fn f(m: &FastMap<u32, u32>) -> Vec<u32> { m.values().copied().collect() }\n";
+    let d = diags("crates/dns-context/src/lib.rs", src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "no-map-iteration");
+    assert_eq!(d[0].what, "m.values()");
+}
+
+#[test]
+fn bare_for_loop_over_a_set_fires() {
+    let src = "pub fn f() { let mut s = FastSet::default(); s.insert(1u32);\n\
+               for x in &s { use_it(x); } }\n";
+    let d = diags("crates/dns-context/src/lib.rs", src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].what, "for … in s");
+}
+
+#[test]
+fn vec_iteration_and_keyed_lookups_are_fine() {
+    let src = "pub fn f(m: &FastMap<u32, u32>, order: &[u32]) -> u32 {\n\
+               let mut t = 0; for k in order { t += m.get(k).copied().unwrap_or(0); } t }\n";
+    assert!(diags("crates/dns-context/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn map_iteration_allow_marker_suppresses() {
+    let src = "pub fn f(m: &FastMap<u32, u32>) -> u32 {\n\
+               // lint: allow(no-map-iteration): order-insensitive sum\n\
+               m.values().sum() }\n";
+    assert!(diags("crates/dns-context/src/lib.rs", src).is_empty());
+}
+
+// ---- unsafe-needs-safety-comment ----------------------------------------
+
+#[test]
+fn unsafe_block_without_rationale_fires() {
+    let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let d = diags("crates/xkit/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "unsafe-needs-safety-comment");
+}
+
+#[test]
+fn safety_comment_within_three_lines_covers() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n\
+               // SAFETY: caller guarantees p is valid for reads.\n\
+               unsafe { *p }\n}\n";
+    assert!(diags("crates/xkit/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_fn_declaration_is_exempt_but_unsafe_impl_is_not() {
+    let decl = "pub unsafe fn f() {}\n";
+    assert!(diags("crates/xkit/src/lib.rs", decl).is_empty());
+    let imp = "unsafe impl Send for Thing {}\n";
+    assert_eq!(fired("crates/xkit/src/lib.rs", imp), vec!["unsafe-needs-safety-comment"]);
+}
+
+// ---- stdout-discipline --------------------------------------------------
+
+#[test]
+fn println_in_library_code_fires() {
+    let src = "pub fn f() { println!(\"x\"); }\n";
+    assert_eq!(fired("crates/dns-context/src/lib.rs", src), vec!["stdout-discipline"]);
+}
+
+#[test]
+fn eprintln_and_bin_targets_are_fine() {
+    assert!(diags("crates/dns-context/src/lib.rs", "pub fn f() { eprintln!(\"x\"); }\n").is_empty());
+    assert!(diags("crates/bench/src/bin/repro.rs", "pub fn f() { println!(\"x\"); }\n").is_empty());
+}
+
+// ---- verify-shell-discipline --------------------------------------------
+
+#[test]
+fn awk_and_source_greps_fire_in_verify_sh() {
+    let d = diags("scripts/verify.sh", "awk '/x/ { print }' file.rs\n");
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "verify-shell-discipline");
+    let d = diags("scripts/verify.sh", "grep -rn pat crates --include='*.rs'\n");
+    assert_eq!(d.len(), 1);
+    let d = diags("scripts/verify.sh", "find crates -name '*.rs' -exec cat {} +\n");
+    assert_eq!(d.len(), 1);
+}
+
+#[test]
+fn shell_scan_allows_markers_json_greps_and_other_scripts() {
+    let marked = "# lint: allow(verify-shell-discipline): float gate\nawk 'BEGIN { exit (1 < 2) ? 0 : 1 }'\n";
+    assert!(diags("scripts/verify.sh", marked).is_empty());
+    assert!(diags("scripts/verify.sh", "grep -q '\"ok\":true' out.json\n").is_empty());
+    assert!(diags("scripts/setup.sh", "awk '{ print }' notes.txt\n").is_empty());
+}
+
+// ---- engine-level behaviour ---------------------------------------------
+
+#[test]
+fn single_rule_filter_restricts_output() {
+    let src = "pub fn f(x: Option<u8>) { x.unwrap(); println!(\"x\"); }\n";
+    let all = lint_file("crates/netpkt/src/lib.rs", src, None);
+    assert_eq!(all.len(), 2);
+    let only = lint_file("crates/netpkt/src/lib.rs", src, Some("stdout-discipline"));
+    assert_eq!(only.len(), 1);
+    assert_eq!(only[0].rule, "stdout-discipline");
+}
+
+#[test]
+fn diagnostics_sort_by_position_then_rule() {
+    let src = "pub fn f(x: Option<u8>) { println!(\"a\"); x.unwrap(); }\n";
+    let d = diags("crates/netpkt/src/lib.rs", src);
+    assert_eq!(d.len(), 2);
+    assert!(d[0].col < d[1].col);
+}
+
+#[test]
+fn report_json_is_canonical_and_parses_back() {
+    let report = lintkit::Report {
+        diagnostics: diags("crates/netpkt/src/lib.rs", "pub fn f(x: Option<u8>) { x.unwrap(); }\n"),
+        files_checked: 1,
+    };
+    let doc = report.to_json();
+    let v = xkit::obs::json::parse(&doc).expect("canonical JSON parses back");
+    assert_eq!(v.get("tool").and_then(|t| t.as_str()), Some("lintkit"));
+    assert!(matches!(v.get("ok"), Some(xkit::obs::json::Value::Bool(false))));
+    let counts = v.get("counts").expect("counts object");
+    assert_eq!(counts.get("no-unwrap-parse").and_then(|n| n.as_f64()), Some(1.0));
+    let rules = v.get("rules").and_then(|r| r.as_arr()).expect("rules array");
+    assert_eq!(rules.len(), lintkit::rules::rules().len());
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The self-check behind `repro lint` in verify.sh: the real tree has
+    // zero violations (every sanctioned exception carries its marker).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lintkit::lint_workspace(&root, None).expect("workspace lints");
+    assert!(report.ok(), "workspace must lint clean:\n{}", report.render_human());
+    assert!(report.files_checked > 50, "walk found {} files", report.files_checked);
+}

@@ -1,0 +1,163 @@
+//! Lexer corpus: token classification, literal flavours, and the
+//! brace-extent `#[cfg(test)]` scoping that fixes the old verify.sh
+//! first-match bug.
+
+use lintkit::lexer::{Lexed, TokKind};
+
+/// Collect the code text of a file (everything outside comments and
+/// literals), concatenated.
+fn code_of(src: &str) -> String {
+    Lexed::lex(src).code_segments().map(|(_, t)| t).collect()
+}
+
+#[test]
+fn line_comments_are_not_code() {
+    let code = code_of("let a = 1; // x.unwrap() here\nlet b = 2;\n");
+    assert!(code.contains("let a"));
+    assert!(code.contains("let b"));
+    assert!(!code.contains("unwrap"));
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "before /* outer /* inner */ still.unwrap() */ after";
+    let code = code_of(src);
+    assert!(code.contains("before"));
+    assert!(code.contains("after"));
+    assert!(!code.contains("unwrap"), "nested close must not end the comment early");
+}
+
+#[test]
+fn plain_strings_hide_needles_and_respect_escapes() {
+    let code = code_of(r#"let s = "a \" x.unwrap() y"; s.len()"#);
+    assert!(!code.contains("unwrap"));
+    assert!(code.contains("s.len()"));
+}
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    let src = r###"let s = r##"quote " and "# still inside .unwrap()"##; tail()"###;
+    let code = code_of(src);
+    assert!(!code.contains("unwrap"), "raw-string body with inner fences is a literal");
+    assert!(code.contains("tail()"));
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let code = code_of(r#"let a = b"x.unwrap()"; let c = b'\''; done()"#);
+    assert!(!code.contains("unwrap"));
+    assert!(code.contains("done()"));
+}
+
+#[test]
+fn char_literal_versus_lifetime() {
+    // `'a'` is a literal; `'a` in a generic list stays code, and the
+    // code after both is still scanned.
+    let src = "fn f<'a>(x: &'a str) -> char { let c = '}'; x.bytes().next(); c }";
+    let lexed = Lexed::lex(src);
+    let code: String = lexed.code_segments().map(|(_, t)| t).collect();
+    assert!(!code.contains("'}'"), "char literal is not code");
+    assert!(code.contains("x.bytes()"), "lifetime must not open a char literal");
+    assert!(
+        lexed.tokens.iter().any(|t| t.kind == TokKind::Literal && &src[t.start..t.end] == "'}'"),
+        "the brace char literal is lexed as one literal token"
+    );
+}
+
+#[test]
+fn test_module_extent_ends_at_matching_brace() {
+    // The old awk heuristic stopped scanning the whole file at the first
+    // `#[cfg(test)]`; the lexer must exempt exactly the module body.
+    let src = "fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn inner() { nested(); }\n\
+               }\n\
+               fn after_tests() {}\n";
+    let lexed = Lexed::lex(src);
+    let inner = src.find("nested").unwrap();
+    let after = src.find("after_tests").unwrap();
+    let before = src.find("live").unwrap();
+    assert!(lexed.in_test(inner), "inside the test module");
+    assert!(!lexed.in_test(before), "before the attribute");
+    assert!(!lexed.in_test(after), "code after the test module is live again");
+}
+
+#[test]
+fn test_fn_extent_is_just_the_function() {
+    let src = "#[test]\nfn one() { body(); }\nfn two() { other(); }\n";
+    let lexed = Lexed::lex(src);
+    assert!(lexed.in_test(src.find("body").unwrap()));
+    assert!(!lexed.in_test(src.find("other").unwrap()));
+}
+
+#[test]
+fn braceless_test_item_ends_at_semicolon() {
+    let src = "#[cfg(test)]\nuse crate::fixtures::mk;\nfn live() {}\n";
+    let lexed = Lexed::lex(src);
+    assert!(lexed.in_test(src.find("fixtures").unwrap()));
+    assert!(!lexed.in_test(src.find("live").unwrap()));
+}
+
+#[test]
+fn cfg_test_in_comment_or_string_is_inert() {
+    let src = "// #[cfg(test)]\nlet a = \"#[cfg(test)]\";\nfn live() { body(); }\n";
+    let lexed = Lexed::lex(src);
+    assert!(!lexed.in_test(src.find("body").unwrap()));
+}
+
+#[test]
+fn nested_test_module_inside_test_module() {
+    // An inner #[cfg(test)] inside an outer one must not extend the
+    // outer extent past its own closing brace.
+    let src = "#[cfg(test)]\n\
+               mod outer {\n\
+                   #[cfg(test)]\n\
+                   mod inner { fn f() { deep(); } }\n\
+               }\n\
+               fn live() { out(); }\n";
+    let lexed = Lexed::lex(src);
+    assert!(lexed.in_test(src.find("deep").unwrap()));
+    assert!(!lexed.in_test(src.find("out()").unwrap()));
+}
+
+#[test]
+fn line_col_is_one_based_bytes() {
+    let src = "abc\ndef\n";
+    let lexed = Lexed::lex(src);
+    assert_eq!(lexed.line_col(0), (1, 1));
+    assert_eq!(lexed.line_col(4), (2, 1));
+    assert_eq!(lexed.line_col(6), (2, 3));
+    assert_eq!(lexed.line_text(2), "def");
+}
+
+#[test]
+fn markers_live_in_comments_only() {
+    let src = "let a = \"lint: allow(x)\";\nlet b = 1; // lint: allow(y)\n";
+    let lexed = Lexed::lex(src);
+    assert!(!lexed.line_has_marker(1, "lint: allow(x)"), "string body is not a marker");
+    assert!(lexed.line_has_marker(2, "lint: allow(y)"));
+}
+
+#[test]
+fn tokens_cover_the_file_in_order() {
+    let src = "a /* c */ \"s\" // t\n b";
+    let lexed = Lexed::lex(src);
+    let mut at = 0usize;
+    for t in &lexed.tokens {
+        assert!(t.start >= at, "tokens must not overlap");
+        at = t.end;
+    }
+    assert_eq!(
+        lexed.tokens.iter().map(|t| t.kind).collect::<Vec<_>>(),
+        vec![
+            TokKind::Code,
+            TokKind::BlockComment,
+            TokKind::Code,
+            TokKind::Literal,
+            TokKind::Code,
+            TokKind::LineComment,
+            TokKind::Code,
+        ]
+    );
+}

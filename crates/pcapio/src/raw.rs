@@ -210,6 +210,8 @@ impl RecordSource for RawSource {
                 Err(e) => return Err(e.into()),
             }
         };
+        // lint: allow(no-wallclock): capture timestamps are wall-clock by
+        // definition — this is the one live-capture stamping seam.
         let ts_nanos = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)

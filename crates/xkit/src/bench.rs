@@ -184,8 +184,10 @@ impl Harness {
         out
     }
 
-    /// Print the summary table to stdout (standalone bench targets).
+    /// Print the summary table to stdout (standalone bench targets,
+    /// where stdout *is* the report).
     pub fn print_table(&self) {
+        // lint: allow(stdout-discipline): bench targets report on stdout by contract
         print!("{}", self.render_table());
     }
 
@@ -269,8 +271,12 @@ pub mod alloc {
     /// A [`System`]-backed allocator that counts every allocation.
     pub struct CountingAlloc;
 
+    // SAFETY: every method forwards to `System` with the caller's exact
+    // layout and pointer, so `System`'s own contract is what holds; the
+    // counter updates are lock- and alloc-free atomics.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: `layout` is forwarded unchanged to `System.alloc`.
             let p = unsafe { System.alloc(layout) };
             if !p.is_null() {
                 on_alloc(layout.size() as u64);
@@ -279,6 +285,7 @@ pub mod alloc {
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: `layout` is forwarded unchanged to `System`.
             let p = unsafe { System.alloc_zeroed(layout) };
             if !p.is_null() {
                 on_alloc(layout.size() as u64);
@@ -287,11 +294,15 @@ pub mod alloc {
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr`/`layout` come from a matching `alloc` on
+            // `System` (every alloc path above forwards to it).
             unsafe { System.dealloc(ptr, layout) };
             on_dealloc(layout.size() as u64);
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged
+            // to `System.realloc`, which owns the allocation.
             let p = unsafe { System.realloc(ptr, layout, new_size) };
             if !p.is_null() {
                 // Count a realloc as one allocation event; live bytes move

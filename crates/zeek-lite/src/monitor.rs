@@ -241,6 +241,7 @@ impl Logs {
             e.1 += c.total_bytes();
         }
         let mut out: Vec<(String, usize, u64)> = acc
+            // lint: allow(no-map-iteration): sorted just below under a total order
             .into_iter()
             .map(|(s, (n, b))| (s.to_string(), n, b))
             .collect();
@@ -460,6 +461,7 @@ impl Monitor {
         let timeout = self.config.dns_query_timeout;
         let expired: Vec<DnsKey> = self
             .pending_dns
+            // lint: allow(no-map-iteration): expired rows are re-sorted by the total log order
             .iter()
             .filter(|(_, p)| now.since(p.ts) >= timeout)
             .map(|(k, _)| k.clone())
@@ -509,6 +511,7 @@ impl Monitor {
     /// (responses and timeouts inherit the query's stamp), making it the
     /// streaming engine's dns-release watermark.
     pub fn oldest_pending_dns_ts(&self) -> Option<Timestamp> {
+        // lint: allow(no-map-iteration): order-insensitive min
         self.pending_dns.values().map(|p| p.ts).min()
     }
 
@@ -525,6 +528,7 @@ impl Monitor {
     /// Flush all state and return the logs, sorted by time.
     pub fn finish(mut self) -> Logs {
         if self.config.emit_unanswered_dns {
+            // lint: allow(no-map-iteration): drained rows are re-sorted by the total log order
             for (key, pending) in self.pending_dns.drain() {
                 self.dns_log.push(unanswered(&key, &pending));
             }

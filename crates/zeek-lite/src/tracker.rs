@@ -443,6 +443,7 @@ impl FlowTracker {
         let tcp_t = self.tcp_timeout;
         let linger = self.linger;
         let mut expired: Vec<CanonKey> = Vec::new();
+        // lint: allow(no-map-iteration): expired flows are re-sorted by the total log order
         for (key, flow) in &self.flows {
             let idle = now.since(flow.last);
             let done = match flow.tuple.proto {
@@ -473,6 +474,7 @@ impl FlowTracker {
     /// Flush every remaining flow (end of capture) and return all records.
     pub fn finish(mut self) -> Vec<ConnRecord> {
         let mut out = std::mem::take(&mut self.completed);
+        // lint: allow(no-map-iteration): sorted by start just below; the log sort is total
         let mut remaining: Vec<Flow> = self.flows.into_values().collect();
         remaining.sort_by_key(|f| f.start);
         out.extend(remaining.into_iter().map(Flow::into_record));
@@ -488,6 +490,7 @@ impl FlowTracker {
     /// streaming engine uses this as a release watermark: every future
     /// connection record must start at or after this instant.
     pub fn oldest_active_flow_start(&self) -> Option<Timestamp> {
+        // lint: allow(no-map-iteration): order-insensitive min
         self.flows.values().map(|f| f.start).min()
     }
 }
