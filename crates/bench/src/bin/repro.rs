@@ -63,6 +63,7 @@ struct Opts {
     serve: String,
     serve_check: bool,
     window_secs: f64,
+    tenants: usize,
     source: String,
     iface: String,
     frames: u64,
@@ -95,6 +96,7 @@ fn parse_args() -> Opts {
         serve: String::new(),
         serve_check: false,
         window_secs: 60.0,
+        tenants: 8,
         source: "file".into(),
         iface: "lo".into(),
         frames: 200,
@@ -124,6 +126,7 @@ fn parse_args() -> Opts {
             "--window-secs" => {
                 opts.window_secs = grab("--window-secs").parse().expect("window-secs")
             }
+            "--tenants" => opts.tenants = grab("--tenants").parse().expect("tenants"),
             "--source" => opts.source = grab("--source"),
             "--iface" => opts.iface = grab("--iface"),
             "--frames" => opts.frames = grab("--frames").parse().expect("frames"),
@@ -132,9 +135,9 @@ fn parse_args() -> Opts {
             "--root" => opts.root = grab("--root"),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--serve ADDR] [--serve-check] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N]\n\
+                    "usage: repro <experiment...> [--houses N] [--days D] [--scale A] [--seed S] [--seeds K] [--threads N] [--csv] [--obs] [--obs-out PATH] [--serve ADDR] [--serve-check] [--window-secs W] [--source file|ring|iface] [--iface NAME] [--frames N] [--tenants N]\n\
                      experiments: table1 table2 table3 fig1 fig2 fig3 sec51 sec52 sec7 sec8\n\
-                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream ingest all\n\
+                     \x20              diurnal houses ablate-threshold ablate-pairing ablate-scr bench fuzz obs stream ingest serve all\n\
                      obs-check <snapshot.json>: validate a snapshot written by `repro obs`\n\
                      obs-check --url ADDR: validate the live endpoints of a running --serve instance\n\
                      stream: bounded-memory epoch pipeline (window set by --window-secs, 0 = unwindowed)\n\
@@ -143,6 +146,9 @@ fn parse_args() -> Opts {
                      ingest: stream pipeline behind the RecordSource seam; --source picks the backend\n\
                      \x20       (file = pcap round trip, ring = in-memory SPSC ring, iface = AF_PACKET via\n\
                      \x20       --iface/--frames, needs the raw-socket build and CAP_NET_RAW)\n\
+                     serve: multi-tenant streaming daemon; --tenants N concurrent simulated vantage\n\
+                     \x20       points sharded over --threads workers, tenant-routed observability on\n\
+                     \x20       --serve ADDR (/tenants, /tenants/<id>/snapshot|metrics + aggregate views)\n\
                      lint: token-aware invariant checker over the workspace sources\n\
                      \x20     [--format human|json] [--rule ID] [--root PATH]; exits 1 on violations"
                 );
@@ -192,6 +198,11 @@ fn main() {
     // backend; file and ring emit identical stdout documents.
     if opts.experiments.iter().any(|e| e == "ingest") {
         ingest(&opts);
+        return;
+    }
+    // `serve` runs the multi-tenant streaming daemon.
+    if opts.experiments.iter().any(|e| e == "serve") {
+        serve_daemon(&opts);
         return;
     }
     // `fuzz` drives the packet path at its own (capped) scale.
@@ -1197,25 +1208,31 @@ fn ingest(opts: &Opts) {
             // closure closes the ring and the consumer sees EOF. Block
             // policy means nothing drops, so the consumed sequence equals
             // the offered sequence and the snapshot below is identical to
-            // the file backend's.
-            let producer = std::thread::spawn(move || {
-                let (_truth, _frames, sim_metrics) = sim.run_ring(&mut tx);
-                sim_metrics
-            });
-            let result = stream::process_source_observed(
-                &mut rx,
-                window,
-                monitor_cfg,
-                opts.analysis_cfg(),
-                hub.as_ref(),
-                |out| {
-                    for txn in &out.dns {
-                        replay.offer(txn);
-                    }
+            // the file backend's. The scoped join is the sanctioned
+            // spawn seam (thread-spawn-fence).
+            let (result, sim_metrics) = xkit::par::join(
+                2,
+                || {
+                    stream::process_source_observed(
+                        &mut rx,
+                        window,
+                        monitor_cfg,
+                        opts.analysis_cfg(),
+                        hub.as_ref(),
+                        |out| {
+                            for txn in &out.dns {
+                                replay.offer(txn);
+                            }
+                        },
+                    )
+                    .expect("ingest run")
                 },
-            )
-            .expect("ingest run");
-            metrics.merge(&producer.join().expect("producer thread"));
+                move || {
+                    let (_truth, _frames, sim_metrics) = sim.run_ring(&mut tx);
+                    sim_metrics
+                },
+            );
+            metrics.merge(&sim_metrics);
             metrics.merge(&rx.metrics());
             result
         }
@@ -1294,6 +1311,147 @@ fn ingest(opts: &Opts) {
         metrics.to_json()
     );
     println!("{json}");
+}
+
+/// `serve` experiment: the multi-tenant streaming daemon (DESIGN.md
+/// §15). `--tenants N` simulated vantage points (seeds staggered off
+/// `--seed`) are registered with a [`bench::serve::Daemon`], sharded
+/// over `--threads` pool workers, and served live over the
+/// tenant-routed observability plane (`/tenants`,
+/// `/tenants/<id>/snapshot|metrics`, aggregate `/snapshot` +
+/// `/metrics`). After the drain barrier the daemon shuts down
+/// gracefully — every engine flushed through `finish()` before the
+/// accept thread exits — and stdout carries one JSON document: the
+/// tenant roster plus the id-ordered aggregate fold, whose `metrics`
+/// section is byte-identical for any `--threads` value.
+fn serve_daemon(opts: &Opts) {
+    use bench::serve::{Daemon, DaemonConfig, TenantSpec};
+
+    // Per-tenant workload cap, same spirit as stream/ingest: the daemon
+    // scales by tenant count, not per-tenant size.
+    let houses = opts.houses.min(12);
+    let days = opts.days.min(0.25);
+    let tenants = opts.tenants.max(1);
+    let addr = if opts.serve.is_empty() { "127.0.0.1:0" } else { &opts.serve };
+    eprintln!(
+        "# serve: {tenants} tenants ({houses} houses x {days} days at activity {}, base seed {}, threads {}, window {}s)",
+        opts.scale, opts.seed, opts.threads, opts.window_secs
+    );
+
+    let daemon = Daemon::new(DaemonConfig {
+        threads: opts.threads,
+        serve: Some(addr.to_string()),
+        namespace: "dnsctx".to_string(),
+    })
+    .expect("bind daemon observability server");
+    let bound = daemon.addr().expect("daemon serves");
+    eprintln!("# serve: tenant-routed observability on http://{bound}");
+
+    for k in 0..tenants {
+        let mut spec = TenantSpec::sim(
+            &format!("t{k:03}"),
+            houses,
+            days,
+            opts.scale,
+            opts.seed.wrapping_add(k as u64),
+        );
+        spec.window_secs = opts.window_secs;
+        daemon.add_tenant(spec).expect("unique tenant id");
+    }
+
+    daemon.drain();
+    if daemon.panicked() > 0 {
+        eprintln!("# serve: {} tenant(s) failed", daemon.panicked());
+        std::process::exit(1);
+    }
+
+    if opts.serve_check {
+        let addr = bound.to_string();
+        match check_live_endpoints(&addr).and_then(|()| check_tenant_endpoints(&addr, tenants)) {
+            Ok(()) => eprintln!("# serve: serve-check OK on {addr}"),
+            Err(e) => {
+                eprintln!("# serve: serve-check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let roster = daemon.tenants();
+    let aggregate = daemon.shutdown();
+    eprintln!(
+        "# serve: drained {} tenants, {} frames in, {} epochs, {} conn rows / {} dns rows",
+        roster.len(),
+        count(aggregate.counter("capture.frames_read") as usize),
+        aggregate.counter("stream.epochs"),
+        count(aggregate.counter("zeek.conn_rows") as usize),
+        count(aggregate.counter("zeek.dns_rows") as usize),
+    );
+
+    let mut roster_json = String::from("[");
+    for (i, (id, state)) in roster.iter().enumerate() {
+        if i > 0 {
+            roster_json.push(',');
+        }
+        roster_json.push_str(&format!("{{\"id\":\"{id}\",\"state\":\"{state}\"}}"));
+    }
+    roster_json.push(']');
+    let json = format!(
+        "{{\"meta\":{{\"experiment\":\"serve\",\"tenants\":{tenants},\"houses\":{houses},\"days\":{days},\"activity\":{},\"seed\":{},\"threads\":{},\"window_secs\":{}}},\"tenants\":{roster_json},\"metrics\":{}}}",
+        opts.scale,
+        opts.seed,
+        opts.threads,
+        opts.window_secs,
+        aggregate.to_json()
+    );
+    println!("{json}");
+}
+
+/// The tenant-plane half of `--serve-check`: `/tenants` lists exactly
+/// the drained roster, every tenant's snapshot parses back and its
+/// Prometheus view agrees, and unknown tenants 404.
+fn check_tenant_endpoints(addr: &str, expect: usize) -> Result<(), String> {
+    use xkit::obs::{http, json, Metrics};
+    let (status, body) = http::get(addr, "/tenants").map_err(|e| format!("GET /tenants: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /tenants: status {status}"));
+    }
+    let v = json::parse(&body).map_err(|e| format!("/tenants: {e}"))?;
+    let roster = v
+        .get("tenants")
+        .and_then(|t| t.as_arr())
+        .ok_or("/tenants: missing tenants array")?
+        .to_vec();
+    if roster.len() != expect {
+        return Err(format!("/tenants lists {} tenants, want {expect}", roster.len()));
+    }
+    for entry in &roster {
+        let id = entry
+            .get("id")
+            .and_then(|x| x.as_str())
+            .ok_or("/tenants: entry without id")?;
+        let state = entry.get("state").and_then(|x| x.as_str()).unwrap_or("?");
+        if state != "drained" {
+            return Err(format!("tenant {id} in state {state:?} after drain"));
+        }
+        let path = format!("/tenants/{id}/snapshot");
+        let (status, snap) = http::get(addr, &path).map_err(|e| format!("GET {path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {path}: status {status}"));
+        }
+        let sv = json::parse(&snap).map_err(|e| format!("{path}: {e}"))?;
+        let parsed = Metrics::from_json_value(&sv).map_err(|e| format!("{path}: {e}"))?;
+        let path = format!("/tenants/{id}/metrics");
+        let (status, prom) = http::get(addr, &path).map_err(|e| format!("GET {path}: {e}"))?;
+        if status != 200 || prom != parsed.to_prometheus("dnsctx") {
+            return Err(format!("{path} is not the Prometheus rendering of the snapshot"));
+        }
+    }
+    let (status, _) = http::get(addr, "/tenants/no-such-tenant/snapshot")
+        .map_err(|e| format!("GET unknown tenant: {e}"))?;
+    if status != 404 {
+        return Err(format!("unknown tenant answered {status}, want 404"));
+    }
+    Ok(())
 }
 
 /// `fuzz` experiment: corrupt a simulated capture at increasing fault

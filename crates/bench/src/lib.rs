@@ -1,4 +1,7 @@
-//! Shared fixtures for the `xkit::bench` benches and the `repro` harness.
+//! Shared fixtures for the `xkit::bench` benches and the `repro`
+//! harness, plus the [`serve`] daemon behind `repro serve`.
+
+pub mod serve;
 
 use dnsctx::ccz_sim::{ScaleKnobs, SimOutput, Simulation, WorkloadConfig};
 

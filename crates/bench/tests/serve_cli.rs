@@ -61,6 +61,41 @@ fn ingest_stdout_is_byte_identical_with_serving() {
 }
 
 #[test]
+fn serve_daemon_cli_is_deterministic_across_pool_widths() {
+    // The daemon experiment: 8 tenants, serve-check over the tenant
+    // routes, and a post-drain aggregate that is byte-identical for
+    // any worker count (only meta.threads may differ).
+    let base: &[&str] = &["serve", "--tenants", "8", "--houses", "4", "--days", "0.05"];
+    let (narrow, _) = run(&[base, WORKLOAD, &["--threads", "1"]].concat());
+    let (wide, err) = run(&[
+        base,
+        WORKLOAD,
+        &["--threads", "4", "--serve", "127.0.0.1:0", "--serve-check"],
+    ]
+    .concat());
+    assert!(err.contains("serve-check OK"), "serve-check must pass: {err}");
+    assert!(err.contains("drained 8 tenants"), "stderr summary: {err}");
+
+    let vn = json::parse(&narrow).expect("narrow serve JSON");
+    let vw = json::parse(&wide).expect("wide serve JSON");
+    assert_eq!(
+        vn.get("metrics").expect("metrics").render(),
+        vw.get("metrics").expect("metrics").render(),
+        "the aggregate fold must not depend on the pool width"
+    );
+    assert_eq!(
+        vn.get("tenants").expect("tenants").render(),
+        vw.get("tenants").expect("tenants").render(),
+        "the drained roster must not depend on the pool width"
+    );
+    let roster = vn.get("tenants").and_then(|t| t.as_arr()).expect("roster").to_vec();
+    assert_eq!(roster.len(), 8);
+    for entry in &roster {
+        assert_eq!(entry.get("state").and_then(|s| s.as_str()), Some("drained"));
+    }
+}
+
+#[test]
 fn obs_check_url_validates_a_live_server() {
     // Serve a real snapshot from this process, then point the CLI's
     // live-endpoint checker at it.

@@ -144,6 +144,18 @@ pub struct StreamResult {
     pub thresholds: HashMap<Ipv4Addr, Duration>,
 }
 
+impl StreamResult {
+    /// The settled snapshot: `analysis_metrics` merged with
+    /// `stream_metrics` — exactly what `finish()` publishes to the hub,
+    /// and what the serve daemon folds per tenant into its aggregate.
+    /// Key spaces are disjoint, so the merge is a plain union.
+    pub fn settled_metrics(&self) -> Metrics {
+        let mut all = self.analysis_metrics.clone();
+        all.merge(&self.stream_metrics);
+        all
+    }
+}
+
 /// The streaming engine: feed frames, close epochs, finish.
 ///
 /// ```
@@ -886,11 +898,7 @@ mod tests {
         let fin = hub.metrics();
         // The finish-time publication is the settled snapshot, and every
         // mid-run counter is bounded by its final value.
-        assert_eq!(fin.to_json(), {
-            let mut all = result.analysis_metrics.clone();
-            all.merge(&result.stream_metrics);
-            all.to_json()
-        });
+        assert_eq!(fin.to_json(), result.settled_metrics().to_json());
         for (name, v) in [("stream.epochs", 1), ("zeek.dns_rows", 2)] {
             assert!(mid.counter(name) >= v && mid.counter(name) <= fin.counter(name));
         }

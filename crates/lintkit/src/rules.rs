@@ -218,6 +218,19 @@ pub fn rules() -> Vec<Rule> {
             markers: &[],
         },
         Rule {
+            id: "thread-spawn-fence",
+            desc: "detached threads stay behind the two seams: no bare thread::spawn outside xkit::par and xkit::obs::http",
+            hint: "submit to an xkit::par::Pool (or a scoped par helper) or serve through xkit::obs::http",
+            scope: Scope {
+                roots: &["crates"],
+                exclude: &["crates/xkit/src/par.rs", "crates/xkit/src/obs/http.rs"],
+                src_only: true,
+                include_tests: false,
+            },
+            check: Check::Needles(&["thread::spawn"]),
+            markers: &[],
+        },
+        Rule {
             id: "verify-shell-discipline",
             desc: "verify.sh contains no freestanding awk/grep source scans: invariants live in lintkit rules",
             hint: "add a lintkit rule instead of a shell deny-grep",

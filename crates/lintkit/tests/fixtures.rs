@@ -106,6 +106,35 @@ fn sockets_fire_outside_the_two_seams() {
     assert!(diags("crates/pcapio/src/raw.rs", src).is_empty());
 }
 
+// ---- thread-spawn-fence --------------------------------------------------
+
+#[test]
+fn bare_thread_spawn_fires_outside_the_spawn_seams() {
+    let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(fired("crates/bench/src/serve.rs", src), vec!["thread-spawn-fence"]);
+    assert_eq!(fired("crates/dns-context/src/lib.rs", src), vec!["thread-spawn-fence"]);
+    // The two sanctioned seams: the pool substrate and the accept loop.
+    assert!(diags("crates/xkit/src/par.rs", src).is_empty());
+    assert!(diags("crates/xkit/src/obs/http.rs", src).is_empty());
+}
+
+#[test]
+fn thread_spawn_in_test_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
+    assert!(diags("crates/pcapio/src/ring.rs", src).is_empty());
+    assert!(diags("crates/bench/tests/serve_daemon.rs", src).is_empty());
+}
+
+#[test]
+fn scoped_spawns_do_not_trip_the_thread_fence() {
+    // `scope.spawn(...)` and `std::thread::scope` are structured
+    // concurrency, not detached threads; only `thread::spawn` is fenced.
+    let src = "pub fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert!(fired("crates/dns-context/src/lib.rs", src)
+        .iter()
+        .all(|r| r != "thread-spawn-fence"));
+}
+
 #[test]
 fn pcap_reader_construction_fires_outside_pcapio() {
     let src = "pub fn f(b: &[u8]) { let _ = PcapReader::new(b); }\n";

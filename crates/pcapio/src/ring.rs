@@ -329,6 +329,18 @@ impl RingSource {
     pub fn dropped(&self) -> u64 {
         self.shared.lock().dropped
     }
+
+    /// Close the consumer half without dropping the source: a parked
+    /// `Block`-policy producer unblocks and its subsequent pushes count
+    /// as `Dropped`, so a serve daemon can abort a tenant's feed early
+    /// while keeping the source around to read conservation counters.
+    /// Idempotent; `Drop` does the same implicitly.
+    pub fn close(&mut self) {
+        let mut st = self.shared.lock();
+        st.rx_closed = true;
+        drop(st);
+        self.shared.space.notify_all();
+    }
 }
 
 impl RecordSource for RingSource {
@@ -435,5 +447,32 @@ mod tests {
         assert_eq!(tx.dropped(), 1);
         drop(tx);
         assert!(rx.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn close_unblocks_the_producer_and_conserves_counts() {
+        // Same one-frame geometry as the stall test: the second push
+        // parks until the consumer closes its half.
+        let (mut tx, mut rx) = channel(40, 65_535, Backpressure::Block);
+        let flight = xkit::obs::FlightRecorder::new(8);
+        tx.set_flight(flight.clone());
+        assert!(tx.push(1, 16, &[0u8; 16]));
+        let producer = std::thread::spawn(move || {
+            let parked = tx.push(2, 16, &[0u8; 16]);
+            let after_close = tx.push(3, 16, &[0u8; 16]);
+            (parked, after_close, tx.produced(), tx.dropped())
+        });
+        while flight.is_empty() {
+            std::thread::yield_now();
+        }
+        rx.close();
+        rx.close(); // idempotent
+        let (parked, after_close, produced, dropped) = producer.join().unwrap();
+        assert!(!parked, "the parked push unblocks as a drop, not a deadlock");
+        assert!(!after_close, "every push after close drops");
+        // Conservation: produced = consumed + dropped + pending.
+        assert_eq!(produced, 3);
+        assert_eq!(dropped, 2);
+        assert_eq!(rx.consumed() + dropped, produced - 1, "frame 1 still pending");
     }
 }

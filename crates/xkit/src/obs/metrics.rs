@@ -273,10 +273,14 @@ impl Histogram {
     /// Conservative quantile estimate (`q` in `[0, 1]`): the **upper
     /// edge** of the bucket holding rank `round(q * (count - 1))`;
     /// `None` when empty. Underflow ranks resolve to the first bucket
-    /// edge (every underflow value is below it), overflow ranks to the
-    /// exact `max`. The estimate never understates the true quantile by
-    /// construction — the pinned contract for `p50<=`/`p95<=`/`p99<=`
-    /// table columns and the Prometheus `_q` lines.
+    /// edge (every underflow value is below it), overflow ranks to
+    /// `max(bounds[last], max)` — an upper bound like every other
+    /// branch, never a bare observed value, so the estimator is
+    /// monotone in `q` even when `max` was merged or rebuilt from
+    /// parts and sits below the last edge. The estimate never
+    /// understates the true quantile by construction — the pinned
+    /// contract for `p50<=`/`p95<=`/`p99<=` table columns and the
+    /// Prometheus `_q` lines.
     pub fn quantile_upper(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -292,7 +296,7 @@ impl Histogram {
                 return Some(self.bounds[i + 1]);
             }
         }
-        Some(self.max)
+        Some(self.bounds[self.bounds.len() - 1].max(self.max))
     }
 
     /// Rebuild a histogram from exported parts (the inverse of the
@@ -859,12 +863,15 @@ mod tests {
         assert_eq!(h.quantile_upper(0.99), Some(bounds[17]));
         assert!(h.quantile_upper(0.5).unwrap() >= 10.0, "never understates");
 
-        // Underflow ranks resolve to the first edge, overflow to max.
+        // Underflow ranks resolve to the first edge; overflow ranks to
+        // max(bounds[last], max). For a naturally observed overflow the
+        // observed max is >= the last edge, so this is still the max.
         let mut u = Histogram::new(HistSpec::time_ms());
         u.observe(1e-9);
         assert_eq!(u.quantile_upper(0.0), Some(u.bounds()[0]));
         let mut o = Histogram::new(HistSpec::time_ms());
         o.observe(5e9);
+        assert!(5e9 >= *o.bounds().last().unwrap());
         assert_eq!(o.quantile_upper(1.0), Some(5e9));
 
         // Rank selection across buckets: 90 low + 10 high samples.
@@ -874,6 +881,29 @@ mod tests {
         assert_eq!(m.quantile_upper(0.5), Some(m.bounds()[13]));
         assert_eq!(m.quantile_upper(0.95), Some(m.bounds()[21]));
         assert_eq!(Histogram::new(HistSpec::time_ms()).quantile_upper(0.5), None);
+    }
+
+    #[test]
+    fn quantile_upper_is_monotone_even_with_a_stale_max() {
+        // Regression: a histogram rebuilt from parts (or merged from a
+        // shard that saw smaller values) can carry max < bounds[last]
+        // while overflow > 0. The old overflow branch returned the raw
+        // `max` — an *observed value*, not an upper bound — so p99
+        // (overflow rank) could come out below p95 (bucket rank). The
+        // overflow branch must return max(bounds[last], max).
+        let spec = HistSpec::time_ms();
+        let probe = Histogram::new(spec.clone());
+        let n_buckets = probe.bucket_counts().len();
+        let mut counts = vec![0u64; n_buckets];
+        counts[n_buckets - 1] = 95; // p95 rank lands here → bounds[last]
+        let h = Histogram::from_parts(spec, counts, 0, 5, 0, Some(1.0), Some(1.0))
+            .expect("parts accepted");
+        let last_edge = *h.bounds().last().unwrap();
+        let p95 = h.quantile_upper(0.95).unwrap();
+        let p99 = h.quantile_upper(0.99).unwrap();
+        assert_eq!(p95, last_edge);
+        assert_eq!(p99, last_edge, "overflow rank resolves to an upper bound");
+        assert!(p99 >= p95, "quantile_upper must be monotone in q: p99 {p99} < p95 {p95}");
     }
 
     #[test]

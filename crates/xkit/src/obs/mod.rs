@@ -27,6 +27,10 @@
 //!   snapshots into a shared hub, and a zero-dependency HTTP/1.1 server
 //!   exposes `/metrics`, `/snapshot`, `/spans`, `/events`, `/healthz`
 //!   (DESIGN.md §13).
+//! * [`HubRegistry`] — the serve daemon's tenant plane: one hub per
+//!   tenant stream, folded in tenant-id order into a deterministic
+//!   aggregate, with per-tenant routing (`/tenants`,
+//!   `/tenants/<id>/snapshot|metrics`) in [`http`] (DESIGN.md §15).
 //!
 //! Exporters: [`Metrics::render_table`] (human), [`Metrics::to_json`]
 //! (canonical, re-parseable via [`json`]), and
@@ -45,9 +49,11 @@ pub mod json;
 mod metrics;
 mod registry;
 mod span;
+mod tenants;
 
 pub use flight::{FlightEvent, FlightRecorder};
 pub use hub::ObsHub;
 pub use metrics::{HistSpec, Histogram, Metric, Metrics};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use span::{SpanId, SpanLog, SpanRecord};
+pub use tenants::{valid_tenant_id, HubRegistry};

@@ -1,12 +1,18 @@
-//! Scoped worker pools over `std::thread::scope` + `std::sync::Mutex`.
+//! Scoped worker pools over `std::thread::scope` + `std::sync::Mutex`,
+//! plus the long-lived [`Pool`] the serve daemon shards tenants across.
 //!
 //! The helpers here preserve *input order* in their outputs no matter how
 //! the work is scheduled across threads, so a parallel run is observably
 //! identical to a sequential one — the property every determinism test in
 //! the workspace leans on.
+//!
+//! This module and `xkit::obs::http` are the only places allowed to call
+//! `std::thread::spawn` (`repro lint` enforces `thread-spawn-fence`);
+//! everything else either borrows a scoped helper or submits to a
+//! [`Pool`].
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of worker threads the machine can usefully run.
 pub fn available_threads() -> usize {
@@ -125,6 +131,163 @@ where
     })
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    active: usize,
+    stop: bool,
+    panicked: u64,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for jobs (or stop).
+    work: Condvar,
+    /// [`Pool::wait_idle`] parks here waiting for quiescence.
+    idle: Condvar,
+}
+
+/// A long-lived worker pool with a shared FIFO job queue — the execution
+/// substrate for the multi-tenant serve daemon, where tenant streams
+/// outlive any one scoped region.
+///
+/// Unlike the scoped helpers above, jobs are detached `FnOnce`s with no
+/// return channel: results travel through whatever the job closes over
+/// (the daemon publishes into per-tenant `ObsHub`s). [`wait_idle`]
+/// blocks until the queue is empty *and* every worker is parked, which
+/// is the daemon's drain barrier. A job that panics is contained: the
+/// worker survives, the panic is counted, and [`panicked`] reports it.
+///
+/// [`wait_idle`]: Pool::wait_idle
+/// [`panicked`]: Pool::panicked
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool of `resolve_threads(threads)` workers (min 1).
+    pub fn new(threads: usize) -> Pool {
+        let workers = resolve_threads(threads).max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                active: 0,
+                stop: false,
+                panicked: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("par-pool-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job. Panics if the pool is already shut down (a
+    /// programming error, not a runtime condition).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut st = self.lock();
+        assert!(!st.stop, "submit on a shut-down pool");
+        st.queue.push_back(Box::new(job));
+        drop(st);
+        self.shared.work.notify_one();
+    }
+
+    /// Block until the queue is empty and no job is running. This is
+    /// the drain barrier: jobs submitted *during* the wait extend it.
+    pub fn wait_idle(&self) {
+        let mut st = self.lock();
+        while !(st.queue.is_empty() && st.active == 0) {
+            st = self
+                .shared
+                .idle
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Jobs that panicked since the pool started (contained, workers
+    /// survive).
+    pub fn panicked(&self) -> u64 {
+        self.lock().panicked
+    }
+
+    /// Stop the workers and join them. Queued-but-unstarted jobs are
+    /// abandoned — call [`wait_idle`](Pool::wait_idle) first to drain.
+    /// Also runs on drop; idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.lock();
+            st.stop = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut st = shared
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    loop {
+        if let Some(job) = st.queue.pop_front() {
+            st.active += 1;
+            drop(st);
+            // Contain panics so one bad tenant can't wedge the pool:
+            // the worker survives and wait_idle still terminates.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            st = shared
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st.active -= 1;
+            if outcome.is_err() {
+                st.panicked += 1;
+            }
+            if st.queue.is_empty() && st.active == 0 {
+                shared.idle.notify_all();
+            }
+        } else if st.stop {
+            return;
+        } else {
+            st = shared
+                .work
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +376,68 @@ mod tests {
     fn zero_means_all_cores() {
         assert_eq!(resolve_threads(0), available_threads());
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn pool_runs_every_job_and_drains() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let done = Arc::new(AtomicUsize::new(0));
+            for _ in 0..100 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(done.load(Ordering::Relaxed), 100, "threads={threads}");
+            assert_eq!(pool.panicked(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_wait_idle_covers_in_flight_jobs() {
+        // A job that submits another job: wait_idle must cover both.
+        let pool = Arc::new(Pool::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            let inner_done = Arc::clone(&done);
+            let pool2 = Arc::clone(&pool);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+                pool2.submit(move || {
+                    inner_done.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_contains_panicking_jobs() {
+        let pool = Pool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("bad tenant"));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 10, "workers survive a panic");
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    #[test]
+    fn pool_shutdown_is_idempotent_and_drop_safe() {
+        let mut pool = Pool::new(2);
+        pool.submit(|| {});
+        pool.wait_idle();
+        pool.shutdown();
+        pool.shutdown();
+        drop(pool);
     }
 }

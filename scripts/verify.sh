@@ -147,4 +147,15 @@ rm -f "$srv_on" "$srv_off"
 echo "clean: --serve leaves the stdout document byte-identical"
 # Socket-fence scanning now lives in `repro lint` (socket-fence).
 
+echo "== serve-daemon suite =="
+# The multi-tenant daemon (DESIGN.md §15): lifecycle tests (concurrent
+# tenants, prefix-valid mid-run scrapes, pool-width-independent
+# aggregate, removal frees state) plus an ephemeral-port CLI smoke
+# that self-validates the tenant routes before shutdown.
+cargo test -q --offline -p bench --test serve_daemon
+cargo run -q --release --offline -p bench --bin repro -- \
+    serve --tenants 8 --houses 4 --days 0.05 \
+    --serve 127.0.0.1:0 --serve-check >/dev/null
+# Thread-spawn scanning lives in `repro lint` (thread-spawn-fence).
+
 echo "== verify OK =="
